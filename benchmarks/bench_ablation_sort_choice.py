@@ -1,0 +1,84 @@
+"""Ablation — the operating-range sort dispatcher (DESIGN.md §7).
+
+Forces the engine's pair-sort backend to counting-only, radix-only or
+timsort-only and compares against the paper's 'auto' policy (§5.4
+operating ranges) on workloads with opposite density profiles.  The
+dispatcher should track the better specialist on each workload.
+
+Run:     python benchmarks/bench_ablation_sort_choice.py
+Pytest:  pytest benchmarks/bench_ablation_sort_choice.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.engine import InferrayEngine
+from repro.datasets.bsbm import bsbm_like
+from repro.datasets.chains import subclass_chain
+from repro.datasets.realworld import yago_like
+
+BACKENDS = ["auto", "counting", "radix", "timsort"]
+
+
+def workloads():
+    return [
+        ("chain-800 (dense ids)", subclass_chain(800), "rho-df"),
+        ("bsbm-2k", bsbm_like(2_000), "rdfs-default"),
+        ("yago-3 (schema-heavy)", yago_like(3), "rdfs-default"),
+    ]
+
+
+def run_ablation(subset=None, repeats=2):
+    rows = []
+    for name, data, ruleset in subset or workloads():
+        timings = {}
+        totals = set()
+        for backend in BACKENDS:
+            best = float("inf")
+            for _ in range(repeats):
+                engine = InferrayEngine(ruleset, algorithm=backend)
+                engine.load_triples(data)
+                started = time.perf_counter()
+                engine.materialize()
+                best = min(best, time.perf_counter() - started)
+                totals.add(engine.n_triples)
+            timings[backend] = best
+        assert len(totals) == 1, "backends must agree on the closure"
+        rows.append((name, timings))
+    return rows
+
+
+def main():
+    rows = run_ablation()
+    headers = ["workload"] + [f"{b} (ms)" for b in BACKENDS]
+    table = []
+    for name, timings in rows:
+        table.append(
+            [name] + [f"{timings[b] * 1000:,.0f}" for b in BACKENDS]
+        )
+    print("Ablation — forced sort backends vs the operating-range policy")
+    print(format_table(headers, table))
+    print(
+        "\nExpected shape: 'auto' tracks the better of counting/radix on"
+        "\neach workload instead of committing to one specialist."
+    )
+
+
+@pytest.mark.benchmark(group="ablation-sort")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sort_backend_chain(benchmark, backend):
+    data = subclass_chain(200)
+
+    def run():
+        engine = InferrayEngine("rho-df", algorithm=backend)
+        engine.load_triples(data)
+        engine.materialize()
+        return engine.n_triples
+
+    assert benchmark(run) == 200 * 199 // 2
+
+
+if __name__ == "__main__":
+    main()

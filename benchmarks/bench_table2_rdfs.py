@@ -1,0 +1,116 @@
+"""Table 2 — RDFS-flavour inference times (ρdf / RDFS-default / RDFS-Full).
+
+Paper: BSBM 1M–50M plus Wikipedia/Yago/Wordnet, Inferray vs OWLIM vs
+RDFox vs WebPIE.  Reproduction: BSBM-like at 1k–10k products plus the
+real-world stand-ins; engines inferray / hashjoin (RDFox stand-in) /
+rete (OWLIM stand-in); WebPIE (Hadoop) is N/A, as it is for most rows
+in the paper.
+
+Expected shape (paper §6.2): the hash-join engine is competitive or
+better on RDFS-Full and small datasets; Inferray improves with size
+and on the leaner fragments; the RETE engine trails and times out
+first as datasets grow.
+
+Run:     python benchmarks/bench_table2_rdfs.py
+Pytest:  pytest benchmarks/bench_table2_rdfs.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench.harness import run_engine
+from repro.bench.reporting import results_matrix, speedup_summary
+from repro.core.engine import InferrayEngine
+from repro.datasets.bsbm import bsbm_like
+from repro.datasets.realworld import wikipedia_like, wordnet_like, yago_like
+
+FRAGMENTS = ["rho-df", "rdfs-default", "rdfs-full"]
+ENGINES = ["inferray", "hashjoin", "rete"]
+TIMEOUT = 60.0
+
+
+def workloads():
+    """(name, triples) pairs, mirroring the paper's dataset rows."""
+    return [
+        ("BSBM-1k", bsbm_like(1_000)),
+        ("BSBM-2.5k", bsbm_like(2_500)),
+        ("BSBM-5k", bsbm_like(5_000)),
+        ("BSBM-10k", bsbm_like(10_000)),
+        ("Wikipedia*", wikipedia_like(10)),
+        ("Yago*", yago_like(4)),
+        ("Wordnet*", wordnet_like(8)),
+    ]
+
+
+def run_table(timeout=TIMEOUT, runs=1, subset=None):
+    results = []
+    for dataset_name, data in subset or workloads():
+        for fragment in FRAGMENTS:
+            for engine in ENGINES:
+                results.append(
+                    run_engine(
+                        engine,
+                        fragment,
+                        data,
+                        dataset_name=dataset_name,
+                        timeout_seconds=timeout,
+                        warmup=0,
+                        runs=runs,
+                    )
+                )
+    return results
+
+
+def main():
+    results = run_table()
+    print(
+        "Table 2 — RDFS flavours, execution time in ms "
+        f"('–' = timeout of {TIMEOUT:.0f}s; * = synthetic stand-in)"
+    )
+    print(results_matrix(results, columns=ENGINES))
+    print()
+    for line in speedup_summary(results):
+        print(" ", line)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (single representative cells)
+# ----------------------------------------------------------------------
+_BSBM = bsbm_like(300)
+
+
+def _run(engine_name, ruleset):
+    from repro.bench.harness import ENGINE_FACTORIES
+
+    engine = ENGINE_FACTORIES[engine_name](ruleset)
+    engine.load_triples(_BSBM)
+    engine.materialize()
+    return engine.n_triples
+
+
+@pytest.mark.benchmark(group="table2-rdfs")
+def test_inferray_bsbm_rdfs_default(benchmark):
+    assert benchmark(lambda: _run("inferray", "rdfs-default")) > len(_BSBM)
+
+
+@pytest.mark.benchmark(group="table2-rdfs")
+def test_hashjoin_bsbm_rdfs_default(benchmark):
+    assert benchmark(lambda: _run("hashjoin", "rdfs-default")) > len(_BSBM)
+
+
+@pytest.mark.benchmark(group="table2-rdfs")
+def test_rete_bsbm_rdfs_default(benchmark):
+    assert benchmark(lambda: _run("rete", "rdfs-default")) > len(_BSBM)
+
+
+@pytest.mark.benchmark(group="table2-rdfs-full")
+def test_inferray_bsbm_rdfs_full(benchmark):
+    assert benchmark(lambda: _run("inferray", "rdfs-full")) > len(_BSBM)
+
+
+@pytest.mark.benchmark(group="table2-rdfs-full")
+def test_hashjoin_bsbm_rdfs_full(benchmark):
+    assert benchmark(lambda: _run("hashjoin", "rdfs-full")) > len(_BSBM)
+
+
+if __name__ == "__main__":
+    main()

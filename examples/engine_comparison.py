@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Four engines, one workload: strategy comparison + cross-validation.
+
+Runs Inferray and the three baseline strategies (naive pass-based,
+RDFox-like hash semi-naive, OWLIM-like RETE) on a LUBM-like workload
+under RDFS-Plus, verifies they compute the *identical* closure, and
+prints each engine's own cost profile (iterations, duplicates, tokens).
+
+Run:  python examples/engine_comparison.py
+"""
+
+import time
+
+from repro import InferrayEngine
+from repro.baselines import HashJoinEngine, NaiveEngine, ReteEngine
+from repro.datasets import lubm_like
+
+
+def main() -> None:
+    data = lubm_like(8)
+    print(f"Workload: LUBM-like, {len(data):,} triples, ruleset rdfs-plus\n")
+
+    closures = {}
+    print(f"{'engine':>10} {'ms':>8} {'inferred':>9} {'iters':>6}  notes")
+
+    engine = InferrayEngine("rdfs-plus")
+    engine.load_triples(data)
+    started = time.perf_counter()
+    stats = engine.materialize()
+    elapsed = time.perf_counter() - started
+    closures["inferray"] = set(engine.triples())
+    print(
+        f"{'inferray':>10} {elapsed * 1000:8.0f} {stats.n_inferred:9,} "
+        f"{stats.iterations:6}  closure pre-pass: "
+        f"{stats.closure_pairs} pairs"
+    )
+
+    for factory, note_key in (
+        (HashJoinEngine, "duplicates"),
+        (ReteEngine, "tokens"),
+        (NaiveEngine, "duplicates"),
+    ):
+        baseline = factory("rdfs-plus")
+        baseline.load_triples(data)
+        started = time.perf_counter()
+        baseline_stats = baseline.materialize()
+        elapsed = time.perf_counter() - started
+        closures[baseline.engine_name] = baseline.as_decoded_set()
+        if note_key == "tokens":
+            note = f"tokens: {baseline_stats.extra['tokens']:,}"
+        else:
+            note = f"duplicate derivations: {baseline_stats.duplicates:,}"
+        print(
+            f"{baseline.engine_name:>10} {elapsed * 1000:8.0f} "
+            f"{baseline_stats.n_inferred:9,} "
+            f"{baseline_stats.iterations:6}  {note}"
+        )
+
+    reference = closures["inferray"]
+    for name, closure in closures.items():
+        assert closure == reference, f"{name} diverged!"
+    print(
+        f"\n✓ all four engines computed the identical closure "
+        f"({len(reference):,} triples)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that fully-offline environments (no `wheel` package available,
+hence no PEP-517 editable builds) can still do a development install with
+``python setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "Inferray: fast in-memory RDF inference" (VLDB'16).
+
+Public API
+----------
+
+The common entry points are re-exported here:
+
+* :class:`InferrayEngine` — the forward-chaining reasoner (Algorithm 1).
+* :func:`infer` / :func:`infer_with_stats` — one-shot materialization.
+* :class:`InferredModel` — a Jena-InfModel-style wrapper.
+* :mod:`repro.rdf` — terms, vocabularies, N-Triples I/O.
+* :mod:`repro.rules` — the Table-5 catalogue and ruleset selections.
+* :mod:`repro.baselines` — comparator engines (hash-join, RETE, naive).
+* :mod:`repro.datasets` — benchmark workload generators.
+* :mod:`repro.memsim` — the memory-hierarchy simulator (Figures 7–8).
+
+Quickstart::
+
+    from repro import infer
+    from repro.rdf import iri, Triple, RDF, RDFS
+
+    g = infer([
+        Triple(iri("ex:human"), RDFS.subClassOf, iri("ex:mammal")),
+        Triple(iri("ex:Bart"), RDF.type, iri("ex:human")),
+    ])
+    assert Triple(iri("ex:Bart"), RDF.type, iri("ex:mammal")) in g
+"""
+
+from .core.api import (
+    InferredModel,
+    infer,
+    infer_with_stats,
+    load_and_materialize,
+)
+from .core.engine import (
+    FixedPointError,
+    InferrayEngine,
+    MaterializationStats,
+    MaterializationTimeout,
+)
+from .query.bgp import Query, TriplePattern, Var
+from .rules.rulesets import RULESET_NAMES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FixedPointError",
+    "InferrayEngine",
+    "InferredModel",
+    "MaterializationStats",
+    "MaterializationTimeout",
+    "Query",
+    "RULESET_NAMES",
+    "TriplePattern",
+    "Var",
+    "__version__",
+    "infer",
+    "infer_with_stats",
+    "load_and_materialize",
+]

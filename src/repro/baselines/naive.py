@@ -1,0 +1,114 @@
+"""NaiveEngine: Sesame-like pass-based fixed point (the oracle).
+
+Each pass re-evaluates every rule against the *entire* working memory —
+"rules are iteratively applied to the data until an iteration derives no
+triples" with no delta tracking, the simplest iterative-rules design the
+paper describes for Sesame.  The only concession to usability is a
+per-predicate statement list (Sesame's structure is "a linked list of
+statements" with an index to iterate triples of a predicate), used for
+atoms whose predicate is a constant; variable-predicate atoms scan the
+full list.
+
+Being structurally independent from both the Inferray executors and the
+other baselines, this engine doubles as the differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Set
+
+from .base import BaselineReasoner, BaselineStats, EncodedTriple
+from .datalog import DatalogRule, is_var, match_atom, substitute
+
+
+class NaiveEngine(BaselineReasoner):
+    """Pass-based re-evaluation over per-predicate statement lists."""
+
+    engine_name = "naive"
+
+    def __init__(self, ruleset="rdfs-default", *, tracer=None):
+        super().__init__(ruleset, tracer=tracer)
+        self._by_predicate: Dict[int, List[EncodedTriple]] = {}
+        self._all: List[EncodedTriple] = []
+
+    def _insert_fact(self, fact: EncodedTriple) -> bool:
+        if not super()._insert_fact(fact):
+            return False
+        self._by_predicate.setdefault(fact[1], []).append(fact)
+        self._all.append(fact)
+        if self.tracer is not None:
+            self.tracer.alloc("naive-list", 88)  # statement node + slots
+            self.tracer.pointer_chase("naive-list", 1)
+        return True
+
+    def _candidates(self, atom, bindings) -> List[EncodedTriple]:
+        predicate = atom.p
+        if is_var(predicate):
+            predicate = bindings.get(predicate)
+        if predicate is None or is_var(predicate):
+            if self.tracer is not None:
+                self.tracer.sequential_scan("naive-list", 24 * len(self._all))
+            return self._all
+        bucket = self._by_predicate.get(predicate, [])
+        if self.tracer is not None:
+            self.tracer.sequential_scan("naive-list", 24 * len(bucket))
+        return bucket
+
+    def _eval_rule(
+        self,
+        rule: DatalogRule,
+        derived: Set[EncodedTriple],
+        deadline=None,
+    ) -> int:
+        """All instantiations of ``rule`` against the full memory."""
+        raw = 0
+        outer = 0
+
+        def recurse(index: int, bindings) -> None:
+            nonlocal raw, outer
+            if index == len(rule.body):
+                for var_a, var_b in rule.not_equal:
+                    if bindings[var_a] == bindings[var_b]:
+                        return
+                for head in rule.heads:
+                    ground = substitute(head, bindings)
+                    derived.add((ground.s, ground.p, ground.o))
+                    raw += 1
+                return
+            atom = rule.body[index]
+            for fact in self._candidates(atom, bindings):
+                if index == 0:
+                    outer += 1
+                    if outer % 4096 == 0:
+                        self._check_deadline(deadline, self.engine_name)
+                extended = match_atom(atom, fact, bindings)
+                if extended is not None:
+                    recurse(index + 1, extended)
+
+        recurse(0, {})
+        return raw
+
+    def materialize(self, *, timeout_seconds=None) -> BaselineStats:
+        """Fixed point by whole-memory passes."""
+        started = time.perf_counter()
+        deadline = None if timeout_seconds is None else started + timeout_seconds
+        n_input = len(self.facts)
+        iterations = 0
+        duplicates = 0
+        while True:
+            iterations += 1
+            self._check_deadline(deadline, self.engine_name)
+            derived: Set[EncodedTriple] = set()
+            raw = 0
+            for rule in self.rules:
+                raw += self._eval_rule(rule, derived, deadline)
+            new_facts = derived - self.facts
+            duplicates += raw - len(new_facts)
+            if not new_facts:
+                break
+            for fact in new_facts:
+                self._insert_fact(fact)
+        return self._finish_stats(
+            started, n_input, iterations, duplicates
+        )

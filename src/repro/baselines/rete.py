@@ -1,0 +1,160 @@
+"""ReteEngine: OWLIM/Jena-like RETE pattern network.
+
+Rules are compiled into chains of pattern (alpha) nodes with inter-node
+(beta) join memories; facts entering working memory propagate through
+the network, extending partial-match *tokens* until a production fires
+and asserts the rule heads.  Inference is event-driven — there are no
+passes — but every join walks node memories through object references:
+the pointer-chasing, random-access behaviour the paper attributes to
+graph/RETE reasoners ("accessing data from a graph structure requires
+random memory accesses").
+
+Alpha nodes are not shared between rules (each rule owns its chain);
+sharing is an optimization of full RETE implementations that does not
+change the fixed point.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from .base import BaselineReasoner, BaselineStats, EncodedTriple
+from .datalog import DatalogRule, match_atom, substitute
+
+TokenKey = Tuple[Tuple[str, int], ...]
+
+
+class _Chain:
+    """One compiled rule: per-position alpha memories + token memories."""
+
+    __slots__ = ("rule", "alpha", "tokens", "token_keys")
+
+    def __init__(self, rule: DatalogRule):
+        self.rule = rule
+        n = len(rule.body)
+        self.alpha: List[List[EncodedTriple]] = [[] for _ in range(n)]
+        self.tokens: List[List[Dict[str, int]]] = [[] for _ in range(n)]
+        self.token_keys: List[Set[TokenKey]] = [set() for _ in range(n)]
+
+
+def _token_key(bindings: Dict[str, int]) -> TokenKey:
+    return tuple(sorted(bindings.items()))
+
+
+class ReteEngine(BaselineReasoner):
+    """Event-driven RETE forward chaining."""
+
+    engine_name = "rete"
+
+    def __init__(self, ruleset="rdfs-default", *, tracer=None):
+        super().__init__(ruleset, tracer=tracer)
+        self._chains: List[_Chain] = []
+        self._queue: deque = deque()
+        self._enqueued: Set[EncodedTriple] = set()
+        self._tokens_created = 0
+        self._fires = 0
+        self._duplicate_fires = 0
+
+    # ------------------------------------------------------------------
+    # Network propagation
+    # ------------------------------------------------------------------
+    def _fire(self, chain: _Chain, bindings: Dict[str, int]) -> None:
+        rule = chain.rule
+        for var_a, var_b in rule.not_equal:
+            if bindings[var_a] == bindings[var_b]:
+                return
+        for head in rule.heads:
+            ground = substitute(head, bindings)
+            fact = (ground.s, ground.p, ground.o)
+            self._fires += 1
+            if fact in self.facts or fact in self._enqueued:
+                self._duplicate_fires += 1
+                continue
+            self._enqueued.add(fact)
+            self._queue.append(fact)
+
+    def _add_token(
+        self, chain: _Chain, level: int, bindings: Dict[str, int]
+    ) -> None:
+        key = _token_key(bindings)
+        if key in chain.token_keys[level]:
+            return
+        chain.token_keys[level].add(key)
+        chain.tokens[level].append(bindings)
+        self._tokens_created += 1
+        if self.tracer is not None:
+            self.tracer.alloc("rete-token", 104)  # token object + key tuple
+            self.tracer.pointer_chase("rete-token", 1)
+        if level == len(chain.rule.body) - 1:
+            self._fire(chain, bindings)
+            return
+        next_atom = chain.rule.body[level + 1]
+        alpha = chain.alpha[level + 1]
+        if self.tracer is not None and alpha:
+            # Left-activation walks the alpha memory's WM entries.
+            self.tracer.pointer_chase("rete-alpha", len(alpha))
+        for fact in list(alpha):
+            extended = match_atom(next_atom, fact, bindings)
+            if extended is not None:
+                self._add_token(chain, level + 1, extended)
+
+    def _activate(self, fact: EncodedTriple) -> None:
+        """Right-activation: route a new WM fact through every chain."""
+        for chain in self._chains:
+            body = chain.rule.body
+            for position, atom in enumerate(body):
+                initial = match_atom(atom, fact, {})
+                if initial is None:
+                    continue  # constants (or intra-atom repeats) mismatch
+                chain.alpha[position].append(fact)
+                if self.tracer is not None:
+                    self.tracer.alloc("rete-alpha", 80)  # WM entry + slot
+                    self.tracer.pointer_chase("rete-alpha", 1)
+                if position == 0:
+                    self._add_token(chain, 0, initial)
+                    continue
+                previous_tokens = chain.tokens[position - 1]
+                if self.tracer is not None and previous_tokens:
+                    # Right-activation walks the beta (token) memory.
+                    self.tracer.pointer_chase(
+                        "rete-token", len(previous_tokens)
+                    )
+                for token in list(previous_tokens):
+                    extended = match_atom(atom, fact, token)
+                    if extended is not None:
+                        self._add_token(chain, position, extended)
+
+    # ------------------------------------------------------------------
+    # Fixed point
+    # ------------------------------------------------------------------
+    def materialize(self, *, timeout_seconds=None) -> BaselineStats:
+        """Build the network, feed every fact, drain the agenda."""
+        started = time.perf_counter()
+        deadline = None if timeout_seconds is None else started + timeout_seconds
+        n_input = len(self.facts)
+        self._chains = [_Chain(rule) for rule in self.rules]
+        self._queue = deque(sorted(self.facts))
+        self._enqueued = set()
+        activated: Set[EncodedTriple] = set()
+        processed = 0
+        while self._queue:
+            fact = self._queue.popleft()
+            self._enqueued.discard(fact)
+            if fact in activated:
+                continue
+            processed += 1
+            if processed % 512 == 0:
+                self._check_deadline(deadline, self.engine_name)
+            activated.add(fact)
+            self.facts.add(fact)
+            self._activate(fact)
+        return self._finish_stats(
+            started,
+            n_input,
+            iterations=1,
+            duplicates=self._duplicate_fires,
+            tokens=self._tokens_created,
+            fires=self._fires,
+        )

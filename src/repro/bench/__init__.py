@@ -1,0 +1,24 @@
+"""Benchmark harness utilities."""
+
+from .figures import counters_to_bars, render_bars
+from .harness import (
+    ENGINE_FACTORIES,
+    RunResult,
+    format_table,
+    measure,
+    run_engine,
+)
+from .reporting import markdown_table, results_matrix, speedup_summary
+
+__all__ = [
+    "ENGINE_FACTORIES",
+    "counters_to_bars",
+    "render_bars",
+    "RunResult",
+    "format_table",
+    "markdown_table",
+    "measure",
+    "results_matrix",
+    "run_engine",
+    "speedup_summary",
+]

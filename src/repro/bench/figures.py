@@ -1,0 +1,65 @@
+"""ASCII bar charts for the Figure-7/8 outputs.
+
+The paper presents the memory-counter experiments as grouped bar
+charts; these helpers render the same grouping in terminal-friendly
+form so the benchmark scripts read like the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: (group label, series label, value) — one bar.
+Bar = Tuple[str, str, Optional[float]]
+
+_BAR_WIDTH = 42
+
+
+def render_bars(
+    title: str,
+    bars: Sequence[Bar],
+    *,
+    unit: str = "",
+    log_note: bool = False,
+) -> str:
+    """Render grouped horizontal bars, scaled to the maximum value.
+
+    ``None`` values render as a '–' row (timeouts / not-run cells).
+    """
+    values = [value for _, _, value in bars if value]
+    maximum = max(values, default=0.0)
+    label_width = max(
+        (len(f"{group} {series}") for group, series, _ in bars), default=0
+    )
+    lines = [title]
+    previous_group: Optional[str] = None
+    for group, series, value in bars:
+        if previous_group is not None and group != previous_group:
+            lines.append("")
+        previous_group = group
+        label = f"{group} {series}".ljust(label_width)
+        if value is None:
+            lines.append(f"  {label} │ –")
+            continue
+        filled = 0
+        if maximum > 0 and value > 0:
+            filled = max(1, round(_BAR_WIDTH * value / maximum))
+        bar = "█" * filled
+        lines.append(f"  {label} │{bar} {value:,.3f}{unit}")
+    if log_note:
+        lines.append("  (linear scale; the paper's figures vary per panel)")
+    return "\n".join(lines)
+
+
+def counters_to_bars(
+    rows: Sequence[Tuple[str, str, Optional[Dict[str, float]]]],
+    metric: str,
+) -> List[Bar]:
+    """Project (group, series, per-triple-dict) rows onto one metric."""
+    bars: List[Bar] = []
+    for group, series, counters in rows:
+        if counters is None:
+            bars.append((group, series, None))
+        else:
+            bars.append((group, series, counters.get(metric, 0.0)))
+    return bars

@@ -1,0 +1,79 @@
+"""Reporting helpers: paper-style tables and EXPERIMENTS.md sections."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import RunResult, format_table
+
+
+def results_matrix(
+    results: Sequence[RunResult],
+    *,
+    row_key=lambda r: (r.dataset, r.ruleset),
+    column_key=lambda r: r.engine,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Pivot RunResults into a Table-2/3-style matrix of ms cells."""
+    if columns is None:
+        seen: List[str] = []
+        for result in results:
+            key = column_key(result)
+            if key not in seen:
+                seen.append(key)
+        columns = seen
+    rows_index: Dict = {}
+    for result in results:
+        rows_index.setdefault(row_key(result), {})[column_key(result)] = result
+    headers = ["workload"] + list(columns)
+    rows = []
+    for key, cells in rows_index.items():
+        label = " / ".join(str(part) for part in key if part != "")
+        row = [label]
+        for column in columns:
+            result = cells.get(column)
+            row.append(result.cell() if result is not None else "")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def speedup_summary(
+    results: Sequence[RunResult], *, reference: str = "inferray"
+) -> List[str]:
+    """Human-readable speedup lines vs a reference engine."""
+    by_workload: Dict = {}
+    for result in results:
+        by_workload.setdefault((result.dataset, result.ruleset), {})[
+            result.engine
+        ] = result
+    lines = []
+    for (dataset, ruleset), cells in by_workload.items():
+        base = cells.get(reference)
+        if base is None or base.seconds is None:
+            continue
+        for engine, other in cells.items():
+            if engine == reference:
+                continue
+            if other.seconds is None:
+                lines.append(
+                    f"{dataset}/{ruleset}: {engine} timed out, "
+                    f"{reference} finished in {base.cell()} ms"
+                )
+            else:
+                factor = other.seconds / base.seconds
+                lines.append(
+                    f"{dataset}/{ruleset}: {reference} is {factor:.1f}x "
+                    f"{'faster' if factor >= 1 else 'slower'} than {engine}"
+                )
+    return lines
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """GitHub-markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)

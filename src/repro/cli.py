@@ -1,0 +1,166 @@
+"""Command-line interface: materialize N-Triples files from the shell.
+
+Usage (installed as a module; mirrors the original Inferray's
+stand-alone reasoner):
+
+    python -m repro infer data.nt --ruleset rdfs-plus -o closed.nt
+    python -m repro stats data.nt --ruleset rdfs-default
+    python -m repro rules --ruleset rho-df
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .core.engine import InferrayEngine
+from .rdf.ntriples import write_file
+from .rdf.turtle import parse_turtle_file
+from .rules.rulesets import RULESET_NAMES, ruleset_rule_names
+from .rules.table5 import BY_NAME
+
+
+def _load_input(engine: InferrayEngine, path: str) -> int:
+    """Load a file by extension: .ttl/.turtle → Turtle, else N-Triples."""
+    if path.endswith((".ttl", ".turtle")):
+        return engine.load_triples(parse_turtle_file(path))
+    return engine.load_file(path)
+
+
+def _add_ruleset_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ruleset",
+        choices=RULESET_NAMES,
+        default="rdfs-default",
+        help="rule fragment to materialize under (default: rdfs-default)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Inferray reproduction: forward-chaining RDF materialization"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    infer_cmd = commands.add_parser(
+        "infer", help="materialize an N-Triples file"
+    )
+    infer_cmd.add_argument("input", help="input N-Triples file")
+    infer_cmd.add_argument(
+        "-o",
+        "--output",
+        help="write the closure as N-Triples (default: stdout)",
+    )
+    infer_cmd.add_argument(
+        "--inferred-only",
+        action="store_true",
+        help="emit only the derived triples, not the input",
+    )
+    _add_ruleset_argument(infer_cmd)
+    infer_cmd.add_argument(
+        "--algorithm",
+        choices=("auto", "counting", "radix", "timsort"),
+        default="auto",
+        help="pair-sort backend (default: the paper's operating ranges)",
+    )
+    infer_cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="abort after this many seconds",
+    )
+
+    stats_cmd = commands.add_parser(
+        "stats", help="materialize and print statistics only"
+    )
+    stats_cmd.add_argument("input", help="input N-Triples file")
+    _add_ruleset_argument(stats_cmd)
+
+    rules_cmd = commands.add_parser(
+        "rules", help="list the rules of a fragment (paper Table 5)"
+    )
+    _add_ruleset_argument(rules_cmd)
+
+    return parser
+
+
+def _run_infer(args: argparse.Namespace) -> int:
+    engine = InferrayEngine(args.ruleset, algorithm=args.algorithm)
+    loaded = _load_input(engine, args.input)
+    asserted = set(engine.encoded_triples()) if args.inferred_only else None
+    engine.materialize(timeout_seconds=args.timeout)
+    if args.inferred_only:
+        triples = (
+            engine.dictionary.decode_triple(encoded)
+            for encoded in engine.encoded_triples()
+            if encoded not in asserted
+        )
+    else:
+        triples = engine.triples()
+    if args.output:
+        count = write_file(triples, args.output)
+        print(
+            f"{args.input}: {loaded} asserted -> {engine.n_triples} total; "
+            f"wrote {count} triples to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        for triple in triples:
+            print(triple.n3())
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    engine = InferrayEngine(args.ruleset)
+    loaded = _load_input(engine, args.input)
+    stats = engine.materialize()
+    print(f"input triples:     {loaded}")
+    print(f"inferred triples:  {stats.n_inferred}")
+    print(f"total triples:     {stats.n_total}")
+    print(f"iterations:        {stats.iterations}")
+    print(f"closure pairs:     {stats.closure_pairs}")
+    print(f"wall time:         {stats.total_seconds * 1000:.1f} ms")
+    print(f"  closure:         {stats.closure_seconds * 1000:.1f} ms")
+    print(f"  rule firing:     {stats.inference_seconds * 1000:.1f} ms")
+    print(f"  merge/dedup:     {stats.merge_seconds * 1000:.1f} ms")
+    print(f"throughput:        {stats.triples_per_second:,.0f} inferred/s")
+    if stats.per_rule:
+        print("per-rule emissions (raw, pre-dedup):")
+        for name, count in sorted(
+            stats.per_rule.items(), key=lambda item: -item[1]
+        ):
+            print(f"  {name:12s} {count}")
+    return 0
+
+
+def _run_rules(args: argparse.Namespace) -> int:
+    names = ruleset_rule_names(args.ruleset)
+    print(f"{args.ruleset}: {len(names)} rules")
+    for name in names:
+        entry = BY_NAME[name]
+        print(f"  #{entry.number:<3d} {name:12s} class={entry.paper_class}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "infer":
+            return _run_infer(args)
+        if args.command == "stats":
+            return _run_stats(args)
+        return _run_rules(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, the
+        # POSIX-CLI convention.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Disjoint-set (UNION-FIND) with path compression and union by rank.
+
+Used by the closure pipeline (paper §4.1) to split the schema graph into
+connected components before dense renumbering, and by the same-as
+machinery for equivalence classes.  Works over arbitrary hashable items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class UnionFind:
+    """Classic disjoint-set forest; items are added lazily on first use."""
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set if unseen."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        """Number of registered items (not sets)."""
+        return len(self._parent)
+
+    @property
+    def n_sets(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def find(self, item: Hashable) -> Hashable:
+        """Representative of ``item``'s set (two-pass path compression)."""
+        parent = self._parent
+        if item not in parent:
+            self.add(item)
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets of ``a`` and ``b``; returns the new root."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return root_a
+        rank = self._rank
+        if rank[root_a] < rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if rank[root_a] == rank[root_b]:
+            rank[root_a] += 1
+        self._count -= 1
+        return root_a
+
+    def same_set(self, a: Hashable, b: Hashable) -> bool:
+        """True iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> Dict[Hashable, List[Hashable]]:
+        """Mapping root → members, in insertion order within each group."""
+        out: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out

@@ -1,0 +1,20 @@
+"""The Inferray engine (paper Algorithm 1) and its high-level API."""
+
+from .api import InferredModel, infer, infer_with_stats, load_and_materialize
+from .engine import (
+    FixedPointError,
+    InferrayEngine,
+    MaterializationStats,
+    MaterializationTimeout,
+)
+
+__all__ = [
+    "FixedPointError",
+    "InferrayEngine",
+    "InferredModel",
+    "MaterializationStats",
+    "MaterializationTimeout",
+    "infer",
+    "infer_with_stats",
+    "load_and_materialize",
+]

@@ -1,0 +1,110 @@
+"""High-level convenience API over :class:`InferrayEngine`.
+
+These helpers cover the common "one-shot" uses: materialize a triple
+collection or file and get back decoded triples — the shape a downstream
+user (or the Jena-style adapter) expects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term, Triple
+from ..rules.spec import Rule
+from .engine import InferrayEngine, MaterializationStats
+
+
+def infer(
+    triples: Iterable[Triple],
+    ruleset: Union[str, List[Rule]] = "rdfs-default",
+    *,
+    algorithm: str = "auto",
+) -> Graph:
+    """Materialize ``triples`` under a ruleset; returns the closed graph.
+
+    >>> from repro.rdf import iri, Triple, RDFS, RDF
+    >>> human, mammal = iri("ex:human"), iri("ex:mammal")
+    >>> bart = iri("ex:Bart")
+    >>> g = infer([
+    ...     Triple(human, RDFS.subClassOf, mammal),
+    ...     Triple(bart, RDF.type, human),
+    ... ])
+    >>> Triple(bart, RDF.type, mammal) in g
+    True
+    """
+    engine = InferrayEngine(ruleset, algorithm=algorithm)
+    engine.load_triples(triples)
+    engine.materialize()
+    return Graph(engine.triples())
+
+
+def infer_with_stats(
+    triples: Iterable[Triple],
+    ruleset: Union[str, List[Rule]] = "rdfs-default",
+    *,
+    algorithm: str = "auto",
+) -> Tuple[Graph, MaterializationStats]:
+    """Like :func:`infer` but also returns the materialization stats."""
+    engine = InferrayEngine(ruleset, algorithm=algorithm)
+    engine.load_triples(triples)
+    stats = engine.materialize()
+    return Graph(engine.triples()), stats
+
+
+def load_and_materialize(
+    path: str,
+    ruleset: Union[str, List[Rule]] = "rdfs-default",
+    *,
+    algorithm: str = "auto",
+) -> InferrayEngine:
+    """Parse an N-Triples file, materialize, and return the engine."""
+    engine = InferrayEngine(ruleset, algorithm=algorithm)
+    engine.load_file(path)
+    engine.materialize()
+    return engine
+
+
+class InferredModel:
+    """A Jena-InfModel-style wrapper: asserted + inferred views.
+
+    Mirrors the interface shape of Jena's ``InfModel`` (the paper ships
+    a Jena-compliant adapter): construction takes the asserted triples,
+    materialization is implicit, and the model answers pattern queries
+    over the deductive closure.
+    """
+
+    def __init__(
+        self,
+        triples: Iterable[Triple],
+        ruleset: Union[str, List[Rule]] = "rdfs-default",
+    ):
+        self._asserted = list(triples)
+        self._engine = InferrayEngine(ruleset)
+        self._engine.load_triples(self._asserted)
+        self._engine.materialize()
+
+    @property
+    def asserted(self) -> List[Triple]:
+        """The originally asserted triples."""
+        return list(self._asserted)
+
+    def __len__(self) -> int:
+        return self._engine.n_triples
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self._engine.contains(triple)
+
+    def list_statements(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ):
+        """Pattern query over the closure (Jena's listStatements)."""
+        return self._engine.query(subject, predicate, obj)
+
+    def deductions(self) -> Graph:
+        """Only the triples added by inference."""
+        asserted = set(self._asserted)
+        return Graph(t for t in self._engine.triples() if t not in asserted)

@@ -1,0 +1,376 @@
+"""InferrayEngine: the paper's Algorithm 1 over the vertical store.
+
+The engine ties everything together:
+
+1. **Load** — triples are dictionary-encoded (dense split numbering,
+   with property promotion) and bulk-loaded into the ``main`` store,
+   sorted and deduplicated per property.
+2. **Transitivity closures** (line 2) — every θ-rule of the active
+   ruleset closes its target properties with the Nuutila/interval
+   machinery *before* the fixed point: subClassOf/subPropertyOf for the
+   RDFS flavours, plus every ``owl:TransitiveProperty`` and the
+   symmetric-transitive ``owl:sameAs`` for RDFS-Plus.
+3. **Fixed point** (lines 3–8) — rules fire in bulk against
+   (main × new), the inferred buffers are sorted/deduplicated and merged
+   per property (Figure 5), producing the next ``new`` delta, until an
+   iteration derives nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from ..dictionary.encoding import Dictionary, encode_dataset
+from ..rdf.ntriples import parse_file
+from ..rdf.terms import Term, Triple
+from ..rules.rulesets import get_ruleset
+from ..rules.spec import Rule, RuleContext, Vocab
+from ..store.triple_store import InferredBuffers, TripleStore
+
+
+class FixedPointError(RuntimeError):
+    """Raised when the fixed point exceeds the iteration safety bound."""
+
+
+class MaterializationTimeout(RuntimeError):
+    """Raised when a materialization exceeds its wall-clock budget.
+
+    All engines (Inferray and the baselines) raise this cooperatively so
+    the benchmark harness can report timeouts the way the paper's tables
+    mark them ('–').
+    """
+
+
+@dataclass
+class MaterializationStats:
+    """Outcome of one :meth:`InferrayEngine.materialize` run."""
+
+    n_input: int = 0
+    n_inferred: int = 0
+    n_total: int = 0
+    iterations: int = 0
+    closure_pairs: int = 0
+    closure_seconds: float = 0.0
+    inference_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    total_seconds: float = 0.0
+    per_rule: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def triples_per_second(self) -> float:
+        """Inferred-triple throughput over the whole materialization."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.n_inferred / self.total_seconds
+
+
+class InferrayEngine:
+    """Forward-chaining materialization with sort-merge-join inference.
+
+    Parameters
+    ----------
+    ruleset:
+        A ruleset name ('rho-df', 'rdfs-default', 'rdfs-full',
+        'rdfs-plus', 'rdfs-plus-full') or an explicit list of
+        :class:`repro.rules.Rule` instances.
+    algorithm:
+        Pair-sort backend: 'auto' (the paper's counting/MSDA-radix
+        operating-range dispatch), or forced 'counting' / 'radix' /
+        'timsort' for ablations.
+    tracer:
+        Optional memory tracer (see :mod:`repro.memsim`) that receives
+        table-level operation events for the Figure-7/8 experiments.
+    max_iterations:
+        Safety bound on fixed-point iterations.
+    os_cache:
+        Keep the lazily-computed ⟨o, s⟩ sorted views cached (the
+        paper's design); ``False`` recomputes them per use (ablation).
+    """
+
+    def __init__(
+        self,
+        ruleset: Union[str, List[Rule]] = "rdfs-default",
+        *,
+        algorithm: str = "auto",
+        tracer=None,
+        max_iterations: int = 10_000,
+        os_cache: bool = True,
+    ):
+        if isinstance(ruleset, str):
+            self.rules: List[Rule] = get_ruleset(ruleset)
+            self.ruleset_name = ruleset
+        else:
+            self.rules = list(ruleset)
+            self.ruleset_name = "custom"
+        self.dictionary = Dictionary()
+        self.vocab = Vocab(self.dictionary)
+        self.main = TripleStore(
+            algorithm=algorithm, tracer=tracer, cache_os=os_cache
+        )
+        self.algorithm = algorithm
+        self.tracer = tracer
+        self.max_iterations = max_iterations
+        self.stats: Optional[MaterializationStats] = None
+        self._materialized = False
+        self._asserted: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_triples(self, triples: Iterable[Triple]) -> int:
+        """Encode and bulk-load decoded triples; returns the count added."""
+        triple_list = list(triples)
+        _, encoded = encode_dataset(triple_list, self.dictionary)
+        self._asserted.extend(encoded)
+        self.main.add_encoded(encoded)
+        self._materialized = False
+        return len(triple_list)
+
+    def load_file(self, path: str) -> int:
+        """Parse and load an N-Triples file."""
+        return self.load_triples(parse_file(path))
+
+    def load_encoded_pairs(self, property_id: int, flat_pairs) -> None:
+        """Low-level loader for already-encoded pair data (benchmarks)."""
+        self.main.add_pairs(property_id, flat_pairs)
+        self._materialized = False
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def materialize(
+        self, *, timeout_seconds: Optional[float] = None
+    ) -> MaterializationStats:
+        """Run the closure pre-pass and the fixed point; returns stats.
+
+        Raises :class:`MaterializationTimeout` when ``timeout_seconds``
+        elapses (checked between iterations).
+        """
+        stats = MaterializationStats(n_input=self.main.n_triples)
+        started = time.perf_counter()
+        deadline = None if timeout_seconds is None else started + timeout_seconds
+
+        # Line 2: transitivity closures on the dedicated layout.
+        closure_started = time.perf_counter()
+        prepass_buffers = InferredBuffers()
+        prepass_ctx = RuleContext(
+            main=self.main,
+            new=self.main,
+            out=prepass_buffers,
+            vocab=self.vocab,
+        )
+        theta_rules = [rule for rule in self.rules if rule.rule_class == "theta"]
+        for rule in theta_rules:
+            stats.closure_pairs += rule.prepass(prepass_ctx)
+        if prepass_buffers:
+            self.main.merge_inferred(prepass_buffers)
+        stats.closure_seconds = time.perf_counter() - closure_started
+
+        # Line 3: the first iteration sees everything as new.
+        new = self.main
+        iteration = 0
+
+        # Lines 4-8: fixed point.
+        while new:
+            iteration += 1
+            if iteration > self.max_iterations:
+                raise FixedPointError(
+                    f"no fixed point after {self.max_iterations} iterations"
+                )
+            if deadline is not None and time.perf_counter() > deadline:
+                raise MaterializationTimeout(
+                    f"inferray: timeout after {timeout_seconds}s "
+                    f"(iteration {iteration})"
+                )
+            buffers = InferredBuffers()
+            ctx = RuleContext(
+                main=self.main,
+                new=new,
+                out=buffers,
+                vocab=self.vocab,
+                iteration=iteration,
+                theta_prepass_done=bool(theta_rules),
+            )
+            infer_started = time.perf_counter()
+            for rule in self.rules:
+                rule.apply(ctx)
+            stats.inference_seconds += time.perf_counter() - infer_started
+
+            merge_started = time.perf_counter()
+            new = self.main.merge_inferred(buffers)
+            stats.merge_seconds += time.perf_counter() - merge_started
+
+            for name, count in ctx.stats.items():
+                stats.per_rule[name] = stats.per_rule.get(name, 0) + count
+
+        stats.iterations = iteration
+        stats.n_total = self.main.n_triples
+        stats.n_inferred = stats.n_total - stats.n_input
+        stats.total_seconds = time.perf_counter() - started
+        self.stats = stats
+        self._materialized = True
+        return stats
+
+    def retract_and_rematerialize(
+        self, triples: Iterable[Triple]
+    ) -> MaterializationStats:
+        """Remove asserted triples and recompute the closure from scratch.
+
+        Forward-chaining has no cheap deletion — "forward-chaining
+        requires full materialization after deletion" (paper §1) — so
+        this rebuilds the store from the surviving asserted triples and
+        re-runs :meth:`materialize`.  Triples never asserted (inferred
+        or unknown) are ignored.
+        """
+        to_remove = set()
+        for triple in triples:
+            subject_id = self.dictionary.id_of(triple.subject)
+            property_id = self.dictionary.id_of(triple.predicate)
+            object_id = self.dictionary.id_of(triple.object)
+            if None not in (subject_id, property_id, object_id):
+                to_remove.add((subject_id, property_id, object_id))
+        surviving = [e for e in self._asserted if e not in to_remove]
+        self._asserted = surviving
+        self.main = TripleStore(
+            algorithm=self.algorithm,
+            tracer=self.tracer,
+            cache_os=self.main.cache_os,
+        )
+        self.main.add_encoded(surviving)
+        self._materialized = False
+        return self.materialize()
+
+    @property
+    def n_asserted(self) -> int:
+        """Number of asserted (loaded) triples, duplicates included."""
+        return len(self._asserted)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the store's pair arrays and caches."""
+        return self.main.memory_bytes()
+
+    def materialize_incremental(
+        self,
+        triples: Iterable[Triple],
+        *,
+        timeout_seconds: Optional[float] = None,
+    ) -> MaterializationStats:
+        """Add triples to an already-materialized store, semi-naively.
+
+        Unlike ``load_triples() + materialize()`` — which re-fires every
+        rule with ``new = main`` — this seeds the fixed point with only
+        the genuinely-new delta, so an addition touching one property
+        re-derives only what that delta can produce.  θ-rules handle the
+        delta by re-closing the affected properties (paper §4.1: closure
+        inputs never shrink, so re-closing is sound and idempotent).
+
+        The engine must already be materialized; the result is
+        identical to batch materialization of the union (tested).
+        """
+        if not self._materialized:
+            raise RuntimeError(
+                "materialize_incremental requires a prior materialize()"
+            )
+        stats = MaterializationStats(n_input=self.main.n_triples)
+        started = time.perf_counter()
+        deadline = None if timeout_seconds is None else started + timeout_seconds
+
+        triple_list = list(triples)
+        _, encoded = encode_dataset(triple_list, self.dictionary)
+        self._asserted.extend(encoded)
+        seed = InferredBuffers()
+        for subject, property_id, obj in encoded:
+            seed.emit(property_id, subject, obj)
+        new = self.main.merge_inferred(seed)
+
+        iteration = 1  # start past the θ pre-pass skip: deltas must close
+        while new:
+            iteration += 1
+            if iteration > self.max_iterations:
+                raise FixedPointError(
+                    f"no fixed point after {self.max_iterations} iterations"
+                )
+            if deadline is not None and time.perf_counter() > deadline:
+                raise MaterializationTimeout(
+                    f"inferray: incremental timeout after {timeout_seconds}s"
+                )
+            buffers = InferredBuffers()
+            ctx = RuleContext(
+                main=self.main,
+                new=new,
+                out=buffers,
+                vocab=self.vocab,
+                iteration=iteration,
+                theta_prepass_done=True,
+            )
+            infer_started = time.perf_counter()
+            for rule in self.rules:
+                rule.apply(ctx)
+            stats.inference_seconds += time.perf_counter() - infer_started
+
+            merge_started = time.perf_counter()
+            new = self.main.merge_inferred(buffers)
+            stats.merge_seconds += time.perf_counter() - merge_started
+            for name, count in ctx.stats.items():
+                stats.per_rule[name] = stats.per_rule.get(name, 0) + count
+
+        stats.iterations = iteration - 1
+        stats.n_total = self.main.n_triples
+        stats.n_inferred = stats.n_total - stats.n_input
+        stats.total_seconds = time.perf_counter() - started
+        return stats
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def n_triples(self) -> int:
+        """Triples currently stored (input + materialized)."""
+        return self.main.n_triples
+
+    def __len__(self) -> int:
+        return self.n_triples
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate every stored triple, decoded."""
+        decode = self.dictionary.decode_triple
+        for encoded in self.main.triples():
+            yield decode(encoded)
+
+    def encoded_triples(self) -> Iterator[tuple]:
+        """Iterate every stored (s, p, o) id triple."""
+        return self.main.triples()
+
+    def query(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Decoded pattern query; ``None`` positions are wildcards.
+
+        Unknown terms (never loaded nor derived) match nothing.
+        """
+        ids: List[Optional[int]] = []
+        for term in (subject, predicate, obj):
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = self.dictionary.id_of(term)
+                if term_id is None:
+                    return
+                ids.append(term_id)
+        decode = self.dictionary.decode_triple
+        for encoded in self.main.query(ids[0], ids[1], ids[2]):
+            yield decode(encoded)
+
+    def contains(self, triple: Triple) -> bool:
+        """Membership test for one decoded triple."""
+        subject_id = self.dictionary.id_of(triple.subject)
+        property_id = self.dictionary.id_of(triple.predicate)
+        object_id = self.dictionary.id_of(triple.object)
+        if None in (subject_id, property_id, object_id):
+            return False
+        return (subject_id, property_id, object_id) in self.main

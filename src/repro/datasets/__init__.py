@@ -1,0 +1,33 @@
+"""Benchmark workload generators (paper §6 "Data")."""
+
+from .bsbm import bsbm_like, bsbm_schema
+from .chains import (
+    chain_closure_size,
+    chain_inferred_size,
+    sameas_chain,
+    subclass_chain,
+    subclass_star,
+    subclass_tree,
+    subproperty_chain,
+    transitive_property_chain,
+)
+from .lubm import lubm_like, lubm_ontology
+from .realworld import wikipedia_like, wordnet_like, yago_like
+
+__all__ = [
+    "bsbm_like",
+    "bsbm_schema",
+    "chain_closure_size",
+    "chain_inferred_size",
+    "lubm_like",
+    "lubm_ontology",
+    "sameas_chain",
+    "subclass_chain",
+    "subclass_star",
+    "subclass_tree",
+    "subproperty_chain",
+    "transitive_property_chain",
+    "wikipedia_like",
+    "wordnet_like",
+    "yago_like",
+]

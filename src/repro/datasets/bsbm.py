@@ -1,0 +1,116 @@
+"""BSBM-like e-commerce workload generator (Table-2 substitute).
+
+The Berlin SPARQL Benchmark generates product catalogues: a *product
+type* tree (the subClassOf hierarchy that drives CAX-SCO), products
+typed with leaf types, producers, vendors, offers, reviews and
+reviewers, with domains and ranges on the linking properties.  The
+paper uses BSBM-generated datasets for the RDFS-flavour experiment
+(ρdf / RDFS-default / RDFS-Full): the workload is hierarchy- and
+domain/range-heavy with no OWL constructs.
+
+``scale`` counts *products*; each product contributes ≈10 triples
+(product + offers + reviews), so ``bsbm_like(1000)`` ≈ 10k triples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..rdf.terms import IRI, Triple
+from ..rdf.vocabulary import RDF, RDFS
+
+_NS = "http://example.org/bsbm#"
+
+
+def _c(name: str) -> IRI:
+    return IRI(_NS + name)
+
+
+def bsbm_schema(
+    rng: random.Random, n_types: int
+) -> Tuple[List[Triple], List[IRI]]:
+    """Product-type tree + property domains/ranges.
+
+    Returns (schema triples, leaf product types).
+    """
+    triples: List[Triple] = []
+    root = _c("ProductType0")
+    types = [root]
+    children: dict = {root: 0}
+    for i in range(1, n_types):
+        node = _c(f"ProductType{i}")
+        parent = rng.choice(types[-12:])  # prefer recent → deeper tree
+        triples.append(Triple(node, RDFS.subClassOf, parent))
+        children[parent] = children.get(parent, 0) + 1
+        children[node] = 0
+        types.append(node)
+    leaves = [t for t in types if children.get(t, 0) == 0]
+
+    for prop, domain, range_ in [
+        ("producer", "Product", "Producer"),
+        ("productFeature", "Product", "ProductFeature"),
+        ("offerOf", "Offer", "Product"),
+        ("vendor", "Offer", "Vendor"),
+        ("reviewFor", "Review", "Product"),
+        ("reviewer", "Review", "Person"),
+        ("country", "Producer", "Country"),
+    ]:
+        triples.append(Triple(_c(prop), RDFS.domain, _c(domain)))
+        triples.append(Triple(_c(prop), RDFS.range, _c(range_)))
+    triples.append(Triple(_c("Product"), RDFS.subClassOf, _c("Thing")))
+    for leaf_parentable in ("Producer", "Vendor", "Person"):
+        triples.append(
+            Triple(_c(leaf_parentable), RDFS.subClassOf, _c("Agent"))
+        )
+    return triples, leaves
+
+
+def bsbm_like(scale: int, *, seed: int = 7) -> List[Triple]:
+    """Generate schema + ``scale`` products with offers and reviews."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    rng = random.Random((seed, scale).__hash__())
+    n_types = max(8, scale // 40)
+    triples, leaves = bsbm_schema(rng, n_types)
+
+    n_producers = max(2, scale // 25)
+    n_vendors = max(2, scale // 50)
+    n_reviewers = max(2, scale // 10)
+    n_features = max(4, scale // 20)
+    producers = [IRI(f"{_NS}Producer{i}") for i in range(n_producers)]
+    vendors = [IRI(f"{_NS}Vendor{i}") for i in range(n_vendors)]
+    reviewers = [IRI(f"{_NS}Reviewer{i}") for i in range(n_reviewers)]
+    features = [IRI(f"{_NS}Feature{i}") for i in range(n_features)]
+    countries = [IRI(f"{_NS}Country{i}") for i in range(6)]
+
+    for producer in producers:
+        triples.append(Triple(producer, RDF.type, _c("Producer")))
+        triples.append(Triple(producer, _c("country"), rng.choice(countries)))
+    for vendor in vendors:
+        triples.append(Triple(vendor, RDF.type, _c("Vendor")))
+    for reviewer in reviewers:
+        triples.append(Triple(reviewer, RDF.type, _c("Person")))
+
+    entity = 0
+    for p in range(scale):
+        product = IRI(f"{_NS}Product{p}")
+        triples.append(Triple(product, RDF.type, rng.choice(leaves)))
+        triples.append(Triple(product, _c("producer"), rng.choice(producers)))
+        for _ in range(rng.randint(1, 3)):
+            triples.append(
+                Triple(product, _c("productFeature"), rng.choice(features))
+            )
+        for _ in range(rng.randint(1, 2)):
+            offer = IRI(f"{_NS}Offer{entity}")
+            entity += 1
+            triples.append(Triple(offer, _c("offerOf"), product))
+            triples.append(Triple(offer, _c("vendor"), rng.choice(vendors)))
+        for _ in range(rng.randint(0, 2)):
+            review = IRI(f"{_NS}Review{entity}")
+            entity += 1
+            triples.append(Triple(review, _c("reviewFor"), product))
+            triples.append(
+                Triple(review, _c("reviewer"), rng.choice(reviewers))
+            )
+    return triples

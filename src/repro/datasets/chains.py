@@ -1,0 +1,107 @@
+"""Chain/tree/star schema generators — the Table-4 workload.
+
+The paper's transitivity-closure benchmark feeds chains of
+``rdfs:subClassOf`` statements of a given length: a chain of *n* nodes
+has n−1 asserted edges and a closure of n·(n−1)/2 pairs, so the number
+of *inferred* triples grows quadratically while the input stays linear
+— the workload that separates closure algorithms from iterative rule
+application.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rdf.terms import IRI, Triple
+from ..rdf.vocabulary import OWL, RDF, RDFS
+
+
+def _node(prefix: str, index: int) -> IRI:
+    return IRI(f"http://example.org/{prefix}/n{index}")
+
+
+def subclass_chain(n_nodes: int, *, prefix: str = "chain") -> List[Triple]:
+    """A subClassOf chain over ``n_nodes`` classes (n−1 edges).
+
+    Closure size: n·(n−1)/2 pairs, i.e. (n²−n)/2 − (n−1) inferred.
+    """
+    if n_nodes < 2:
+        raise ValueError("a chain needs at least 2 nodes")
+    return [
+        Triple(_node(prefix, i), RDFS.subClassOf, _node(prefix, i + 1))
+        for i in range(n_nodes - 1)
+    ]
+
+
+def subproperty_chain(n_nodes: int, *, prefix: str = "pchain") -> List[Triple]:
+    """A subPropertyOf chain (θ workload on SCM-SPO)."""
+    if n_nodes < 2:
+        raise ValueError("a chain needs at least 2 nodes")
+    return [
+        Triple(_node(prefix, i), RDFS.subPropertyOf, _node(prefix, i + 1))
+        for i in range(n_nodes - 1)
+    ]
+
+
+def transitive_property_chain(
+    n_nodes: int, *, prefix: str = "tchain"
+) -> List[Triple]:
+    """A chain over a property declared owl:TransitiveProperty (PRP-TRP)."""
+    if n_nodes < 2:
+        raise ValueError("a chain needs at least 2 nodes")
+    prop = IRI(f"http://example.org/{prefix}/follows")
+    triples = [Triple(prop, RDF.type, OWL.TransitiveProperty)]
+    triples.extend(
+        Triple(_node(prefix, i), prop, _node(prefix, i + 1))
+        for i in range(n_nodes - 1)
+    )
+    return triples
+
+
+def sameas_chain(n_nodes: int, *, prefix: str = "schain") -> List[Triple]:
+    """A sameAs chain: the closure materialises the full n² clique."""
+    if n_nodes < 2:
+        raise ValueError("a chain needs at least 2 nodes")
+    return [
+        Triple(_node(prefix, i), OWL.sameAs, _node(prefix, i + 1))
+        for i in range(n_nodes - 1)
+    ]
+
+
+def subclass_star(n_leaves: int, *, prefix: str = "star") -> List[Triple]:
+    """``n_leaves`` classes all direct subclasses of one root (no closure)."""
+    root = _node(prefix, 0)
+    return [
+        Triple(_node(prefix, i + 1), RDFS.subClassOf, root)
+        for i in range(n_leaves)
+    ]
+
+
+def subclass_tree(
+    depth: int, branching: int = 2, *, prefix: str = "tree"
+) -> List[Triple]:
+    """A complete class tree: each node subClassOf its parent.
+
+    Closure size equals the sum over nodes of their depth (ancestors).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    triples: List[Triple] = []
+    # Breadth-first numbering: node k's parent is (k - 1) // branching.
+    n_nodes = sum(branching**level for level in range(depth + 1))
+    for k in range(1, n_nodes):
+        parent = (k - 1) // branching
+        triples.append(
+            Triple(_node(prefix, k), RDFS.subClassOf, _node(prefix, parent))
+        )
+    return triples
+
+
+def chain_closure_size(n_nodes: int) -> int:
+    """Total pairs in the closure of an n-node chain: n·(n−1)/2."""
+    return n_nodes * (n_nodes - 1) // 2
+
+
+def chain_inferred_size(n_nodes: int) -> int:
+    """Inferred pairs for an n-node chain (closure minus asserted)."""
+    return chain_closure_size(n_nodes) - (n_nodes - 1)

@@ -1,0 +1,218 @@
+"""LUBM-like university workload generator (Table-3 substitute).
+
+The Lehigh University Benchmark generates university/department worlds
+over an ontology whose RDFS-Plus-visible features are: a class
+hierarchy (professors ⊑ faculty ⊑ employee ⊑ person, …), a property
+hierarchy (headOf ⊑ worksFor ⊑ memberOf, the degreeFrom family), a
+*transitive* ``subOrganizationOf``, and ``inverseOf`` pairs
+(hasAlumnus/degreeFrom, member/memberOf).  "Only RDFS-Plus is
+expressive enough to derive many triples on LUBM" — exactly these
+features drive the Table-3 experiment.
+
+This generator reproduces that shape at configurable scale with a
+deterministic seeded RNG.  ``scale`` counts *departments*; each
+department contributes ≈65 entities / ≈210 triples, so
+``lubm_like(50)`` ≈ 10k triples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..rdf.terms import IRI, Triple
+from ..rdf.vocabulary import OWL, RDF, RDFS
+
+_NS = "http://example.org/lubm#"
+
+
+def _c(name: str) -> IRI:
+    return IRI(_NS + name)
+
+
+# ----------------------------------------------------------------------
+# Ontology (Tbox)
+# ----------------------------------------------------------------------
+CLASSES = [
+    "Organization", "University", "Department", "ResearchGroup",
+    "Person", "Employee", "Faculty", "Professor", "FullProfessor",
+    "AssociateProfessor", "AssistantProfessor", "Lecturer", "Chair",
+    "Student", "UndergraduateStudent", "GraduateStudent",
+    "TeachingAssistant", "ResearchAssistant",
+    "Course", "GraduateCourse", "Publication",
+]
+
+_SUBCLASS = [
+    ("University", "Organization"),
+    ("Department", "Organization"),
+    ("ResearchGroup", "Organization"),
+    ("Employee", "Person"),
+    ("Faculty", "Employee"),
+    ("Professor", "Faculty"),
+    ("FullProfessor", "Professor"),
+    ("AssociateProfessor", "Professor"),
+    ("AssistantProfessor", "Professor"),
+    ("Lecturer", "Faculty"),
+    ("Chair", "Professor"),
+    ("Student", "Person"),
+    ("UndergraduateStudent", "Student"),
+    ("GraduateStudent", "Student"),
+    ("TeachingAssistant", "Person"),
+    ("ResearchAssistant", "Person"),
+    ("GraduateCourse", "Course"),
+]
+
+_SUBPROPERTY = [
+    ("worksFor", "memberOf"),
+    ("headOf", "worksFor"),
+    ("doctoralDegreeFrom", "degreeFrom"),
+    ("mastersDegreeFrom", "degreeFrom"),
+    ("undergraduateDegreeFrom", "degreeFrom"),
+]
+
+_DOMAIN = [
+    ("memberOf", "Person"),
+    ("subOrganizationOf", "Organization"),
+    ("teacherOf", "Faculty"),
+    ("takesCourse", "Student"),
+    ("advisor", "Person"),
+    ("publicationAuthor", "Publication"),
+    ("degreeFrom", "Person"),
+]
+
+_RANGE = [
+    ("memberOf", "Organization"),
+    ("subOrganizationOf", "Organization"),
+    ("teacherOf", "Course"),
+    ("takesCourse", "Course"),
+    ("advisor", "Professor"),
+    ("publicationAuthor", "Person"),
+    ("degreeFrom", "University"),
+]
+
+
+def lubm_ontology() -> List[Triple]:
+    """The Tbox: hierarchy + domains/ranges + OWL property axioms."""
+    triples: List[Triple] = []
+    for sub, sup in _SUBCLASS:
+        triples.append(Triple(_c(sub), RDFS.subClassOf, _c(sup)))
+    for sub, sup in _SUBPROPERTY:
+        triples.append(Triple(_c(sub), RDFS.subPropertyOf, _c(sup)))
+    for prop, cls in _DOMAIN:
+        triples.append(Triple(_c(prop), RDFS.domain, _c(cls)))
+    for prop, cls in _RANGE:
+        triples.append(Triple(_c(prop), RDFS.range, _c(cls)))
+    # RDFS-Plus constructs.
+    triples.append(
+        Triple(_c("subOrganizationOf"), RDF.type, OWL.TransitiveProperty)
+    )
+    triples.append(Triple(_c("hasAlumnus"), OWL.inverseOf, _c("degreeFrom")))
+    triples.append(Triple(_c("member"), OWL.inverseOf, _c("memberOf")))
+    triples.append(
+        Triple(_c("emailAddress"), RDF.type, OWL.InverseFunctionalProperty)
+    )
+    return triples
+
+
+# ----------------------------------------------------------------------
+# Instance data (Abox)
+# ----------------------------------------------------------------------
+def lubm_like(scale: int, *, seed: int = 42) -> List[Triple]:
+    """Generate the ontology plus ``scale`` departments of instance data.
+
+    Deterministic for a given (scale, seed).  ≈210 triples/department.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    rng = random.Random((seed, scale).__hash__())
+    triples = lubm_ontology()
+
+    def ind(kind: str, index: int) -> IRI:
+        return IRI(f"{_NS}{kind}{index}")
+
+    n_universities = max(1, scale // 10)
+    universities = []
+    for u in range(n_universities):
+        univ = ind("University", u)
+        universities.append(univ)
+        triples.append(Triple(univ, RDF.type, _c("University")))
+
+    professors: List[IRI] = []
+    entity = 0
+    for d in range(scale):
+        dept = ind("Department", d)
+        univ = universities[d % n_universities]
+        triples.append(Triple(dept, RDF.type, _c("Department")))
+        triples.append(Triple(dept, _c("subOrganizationOf"), univ))
+        # One research group chain per department exercises the
+        # transitive subOrganizationOf.
+        group = ind("Group", d)
+        triples.append(Triple(group, RDF.type, _c("ResearchGroup")))
+        triples.append(Triple(group, _c("subOrganizationOf"), dept))
+
+        courses = []
+        for c in range(rng.randint(6, 10)):
+            course = ind("Course", entity)
+            entity += 1
+            kind = "GraduateCourse" if rng.random() < 0.3 else "Course"
+            triples.append(Triple(course, RDF.type, _c(kind)))
+            courses.append(course)
+
+        dept_professors = []
+        for p in range(rng.randint(3, 5)):
+            prof = ind("Professor", entity)
+            entity += 1
+            kind = rng.choice(
+                ["FullProfessor", "AssociateProfessor", "AssistantProfessor"]
+            )
+            triples.append(Triple(prof, RDF.type, _c(kind)))
+            triples.append(Triple(prof, _c("worksFor"), dept))
+            triples.append(
+                Triple(prof, _c("doctoralDegreeFrom"), rng.choice(universities))
+            )
+            triples.append(Triple(prof, _c("teacherOf"), rng.choice(courses)))
+            triples.append(
+                Triple(prof, _c("emailAddress"),
+                       IRI(f"{_NS}mail/p{entity}"))
+            )
+            dept_professors.append(prof)
+            professors.append(prof)
+        head = dept_professors[0]
+        triples.append(Triple(head, RDF.type, _c("Chair")))
+        triples.append(Triple(head, _c("headOf"), dept))
+
+        for s in range(rng.randint(15, 25)):
+            student = ind("Student", entity)
+            entity += 1
+            graduate = rng.random() < 0.35
+            kind = "GraduateStudent" if graduate else "UndergraduateStudent"
+            triples.append(Triple(student, RDF.type, _c(kind)))
+            triples.append(Triple(student, _c("memberOf"), dept))
+            for _ in range(rng.randint(1, 3)):
+                triples.append(
+                    Triple(student, _c("takesCourse"), rng.choice(courses))
+                )
+            if graduate:
+                triples.append(
+                    Triple(student, _c("advisor"), rng.choice(dept_professors))
+                )
+                triples.append(
+                    Triple(
+                        student,
+                        _c("undergraduateDegreeFrom"),
+                        rng.choice(universities),
+                    )
+                )
+
+        for pub in range(rng.randint(4, 8)):
+            publication = ind("Publication", entity)
+            entity += 1
+            triples.append(Triple(publication, RDF.type, _c("Publication")))
+            triples.append(
+                Triple(
+                    publication,
+                    _c("publicationAuthor"),
+                    rng.choice(dept_professors),
+                )
+            )
+    return triples

@@ -1,0 +1,173 @@
+"""Synthetic stand-ins for the paper's real-world ontologies.
+
+The paper benchmarks on the Yago taxonomy, the Wikipedia ontology and
+Wordnet — all offline downloads we cannot fetch.  Each stand-in
+reproduces the *documented shape* that makes the original challenging
+(DESIGN.md §2 records the substitution):
+
+* :func:`yago_like` — "a large set of properties [that] challenges the
+  vertical partitioning approach, due to the large number of generated
+  tables" and "transitive closure challenged by the large number of
+  subClassOf and subPropertyOf statements": a deep, wide class taxonomy,
+  a property hierarchy, many distinct fact properties.
+* :func:`wikipedia_like` — "a large set of classes and a large schema":
+  a broad, shallow category tree with many typed instances.
+* :func:`wordnet_like` — lexical hypernym chains: long subClassOf
+  chains (deep closure) plus a transitive ``hypernymOf`` relation among
+  synset instances for the RDFS-Plus run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..rdf.terms import IRI, Triple
+from ..rdf.vocabulary import OWL, RDF, RDFS
+
+_NS = "http://example.org/rw#"
+
+
+def _i(name: str) -> IRI:
+    return IRI(_NS + name)
+
+
+def _random_tree_edges(
+    rng: random.Random, n_nodes: int, recency_window: int
+) -> List[int]:
+    """Parent index for nodes 1..n−1; small windows make deeper trees."""
+    parents = [0] * n_nodes
+    for node in range(1, n_nodes):
+        low = max(0, node - recency_window)
+        parents[node] = rng.randint(low, node - 1)
+    return parents
+
+
+def yago_like(scale: int = 60, *, seed: int = 11) -> List[Triple]:
+    """Yago-taxonomy stand-in: big taxonomy + many properties.
+
+    ``scale`` ≈ tenths of the dataset: ``yago_like(60)`` ≈ 10k triples,
+    of which roughly half are subClassOf/subPropertyOf schema.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    rng = random.Random((seed, scale).__hash__())
+    triples: List[Triple] = []
+
+    n_classes = 60 * scale
+    parents = _random_tree_edges(rng, n_classes, recency_window=25)
+    for node in range(1, n_classes):
+        triples.append(
+            Triple(
+                _i(f"class{node}"),
+                RDFS.subClassOf,
+                _i(f"class{parents[node]}"),
+            )
+        )
+
+    n_properties = 8 * scale
+    prop_parents = _random_tree_edges(rng, n_properties, recency_window=10)
+    for node in range(1, n_properties):
+        triples.append(
+            Triple(
+                _i(f"prop{node}"),
+                RDFS.subPropertyOf,
+                _i(f"prop{prop_parents[node]}"),
+            )
+        )
+    for node in range(0, n_properties, 4):
+        cls = rng.randrange(n_classes)
+        triples.append(Triple(_i(f"prop{node}"), RDFS.domain, _i(f"class{cls}")))
+        cls = rng.randrange(n_classes)
+        triples.append(Triple(_i(f"prop{node}"), RDFS.range, _i(f"class{cls}")))
+
+    n_instances = 25 * scale
+    for instance in range(n_instances):
+        subject = _i(f"entity{instance}")
+        triples.append(
+            Triple(subject, RDF.type, _i(f"class{rng.randrange(n_classes)}"))
+        )
+        prop = _i(f"prop{rng.randrange(n_properties)}")
+        other = _i(f"entity{rng.randrange(n_instances)}")
+        triples.append(Triple(subject, prop, other))
+    return triples
+
+
+def wikipedia_like(scale: int = 60, *, seed: int = 13) -> List[Triple]:
+    """Wikipedia-ontology stand-in: many classes, shallow broad schema.
+
+    ``wikipedia_like(60)`` ≈ 10k triples; the category tree is wide and
+    shallow, and most triples are instance typings.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    rng = random.Random((seed, scale).__hash__())
+    triples: List[Triple] = []
+
+    n_categories = 40 * scale
+    parents = _random_tree_edges(rng, n_categories, recency_window=2000)
+    for node in range(1, n_categories):
+        triples.append(
+            Triple(
+                _i(f"cat{node}"),
+                RDFS.subClassOf,
+                _i(f"cat{parents[node]}"),
+            )
+        )
+
+    for prop in ("linksTo", "about", "createdBy"):
+        triples.append(Triple(_i(prop), RDFS.domain, _i("cat0")))
+
+    n_articles = 100 * scale
+    for article in range(n_articles):
+        subject = _i(f"article{article}")
+        triples.append(
+            Triple(subject, RDF.type, _i(f"cat{rng.randrange(n_categories)}"))
+        )
+        if rng.random() < 0.3:
+            target = _i(f"article{rng.randrange(n_articles)}")
+            triples.append(Triple(subject, _i("linksTo"), target))
+    return triples
+
+
+def wordnet_like(scale: int = 60, *, seed: int = 17) -> List[Triple]:
+    """Wordnet stand-in: deep hypernym chains + transitive relation.
+
+    ``wordnet_like(60)`` ≈ 10k triples.  Synset classes form long
+    chains (depth ≈ 40), so the subClassOf closure dominates; instances
+    are linked by a transitive ``hypernymOf`` for RDFS-Plus.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    rng = random.Random((seed, scale).__hash__())
+    triples: List[Triple] = []
+
+    chain_length = 40
+    n_chains = max(1, (45 * scale) // chain_length)
+    for chain in range(n_chains):
+        for position in range(chain_length - 1):
+            triples.append(
+                Triple(
+                    _i(f"synset{chain}_{position}"),
+                    RDFS.subClassOf,
+                    _i(f"synset{chain}_{position + 1}"),
+                )
+            )
+
+    hypernym = _i("hypernymOf")
+    triples.append(Triple(hypernym, RDF.type, OWL.TransitiveProperty))
+    triples.append(Triple(_i("hyponymOf"), OWL.inverseOf, hypernym))
+
+    n_words = 55 * scale
+    for word in range(n_words):
+        subject = _i(f"word{word}")
+        chain = rng.randrange(n_chains)
+        position = rng.randrange(chain_length)
+        triples.append(
+            Triple(subject, RDF.type, _i(f"synset{chain}_{position}"))
+        )
+        if word + 1 < n_words and rng.random() < 0.25:
+            triples.append(
+                Triple(subject, hypernym, _i(f"word{word + 1}"))
+            )
+    return triples

@@ -1,0 +1,228 @@
+"""Dictionary encoding with the paper's split dense numbering (§5.1).
+
+Inference never mints new terms — only new *combinations* of existing
+subjects, properties and objects.  Inferray exploits this by encoding all
+terms once, at load time, into dense 64-bit ids:
+
+* the numbering space ``[0, 2**64)`` is split at ``2**32``;
+* **properties** are numbered *downward* from ``2**32``
+  (first property → ``2**32``, second → ``2**32 - 1``, …);
+* **non-property resources** are numbered *upward* from ``2**32 + 1``.
+
+Both halves stay dense, which keeps the entropy of the values low — the
+property that the counting / MSDA-radix sorts of :mod:`repro.sorting`
+exploit.  A simple *index translation* (``2**32 - property_id``) maps a
+property id onto the index of its property table in the store.
+
+The paper assumes predicates are identifiable at load time.  Terms that
+occupy property positions *indirectly* (subjects/objects of
+``rdfs:subPropertyOf``, ``owl:equivalentProperty``, ``owl:inverseOf``,
+subjects of ``rdfs:domain`` / ``rdfs:range``, and subjects typed as a
+property class) are promoted to the property space by the two-pass
+:func:`encode_dataset` helper, so that rules whose *output predicate* is a
+variable (e.g. EQ-REP-P, PRP-SPO1) always find a property id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Term, Triple
+from ..rdf.vocabulary import (
+    PROPERTY_MARKING_TYPES,
+    PROPERTY_POSITION_PREDICATES,
+    RDF,
+)
+
+#: The split point of the id space: property ids are ≤ PROPERTY_BASE,
+#: resource ids are > PROPERTY_BASE.
+PROPERTY_BASE = 1 << 32
+
+#: Encoded triple: (subject_id, property_id, object_id).
+EncodedTriple = Tuple[int, int, int]
+
+
+class DictionaryError(ValueError):
+    """Raised on inconsistent encodings (e.g. late property promotion)."""
+
+
+class Dictionary:
+    """Bidirectional term ↔ dense-id mapping with the split numbering.
+
+    The same term may appear both as a predicate and as a subject/object
+    (e.g. ``rdfs:subClassOf`` itself in schema-of-schema statements); it
+    then keeps its single *property* id in every position.  What is not
+    allowed — and raises :class:`DictionaryError` — is discovering that an
+    already-encoded *resource* must become a property: callers avoid this
+    by using :func:`encode_dataset`, which pre-registers property terms.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[Term, int] = {}
+        self._property_terms: List[Term] = []
+        self._resource_terms: List[Term] = []
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_property(self, term: Term) -> int:
+        """Return the property id for ``term``, allocating downward."""
+        existing = self._ids.get(term)
+        if existing is not None:
+            if existing > PROPERTY_BASE:
+                raise DictionaryError(
+                    f"{term!r} already encoded as a resource "
+                    f"({existing}); property promotion requires re-encoding "
+                    "— load datasets through encode_dataset()"
+                )
+            return existing
+        new_id = PROPERTY_BASE - len(self._property_terms)
+        self._property_terms.append(term)
+        self._ids[term] = new_id
+        return new_id
+
+    def encode_resource(self, term: Term) -> int:
+        """Return the id for ``term`` in subject/object position.
+
+        A term already registered as a property keeps its property id.
+        """
+        existing = self._ids.get(term)
+        if existing is not None:
+            return existing
+        new_id = PROPERTY_BASE + 1 + len(self._resource_terms)
+        self._resource_terms.append(term)
+        self._ids[term] = new_id
+        return new_id
+
+    def encode_triple(self, triple: Triple) -> EncodedTriple:
+        """Encode one triple (predicate gets a property id)."""
+        return (
+            self.encode_resource(triple.subject),
+            self.encode_property(triple.predicate),
+            self.encode_resource(triple.object),
+        )
+
+    # ------------------------------------------------------------------
+    # Decoding & lookups
+    # ------------------------------------------------------------------
+    def id_of(self, term: Term) -> Optional[int]:
+        """The id of ``term`` if already encoded, else ``None``."""
+        return self._ids.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """Return the term for an id.
+
+        Raises
+        ------
+        KeyError
+            If the id was never allocated.
+        """
+        if term_id <= PROPERTY_BASE:
+            index = PROPERTY_BASE - term_id
+            if 0 <= index < len(self._property_terms):
+                return self._property_terms[index]
+        else:
+            index = term_id - PROPERTY_BASE - 1
+            if 0 <= index < len(self._resource_terms):
+                return self._resource_terms[index]
+        raise KeyError(f"unknown term id {term_id}")
+
+    def decode_triple(self, encoded: EncodedTriple) -> Triple:
+        """Decode an (s, p, o) id triple back to RDF terms."""
+        subject_id, property_id, object_id = encoded
+        return Triple(
+            self.decode(subject_id),
+            self.decode(property_id),  # type: ignore[arg-type]
+            self.decode(object_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Id-space structure
+    # ------------------------------------------------------------------
+    def is_property_id(self, term_id: int) -> bool:
+        """True iff the id lies in the (allocated) property half."""
+        return (
+            PROPERTY_BASE - len(self._property_terms) < term_id <= PROPERTY_BASE
+        )
+
+    @staticmethod
+    def property_index(property_id: int) -> int:
+        """Index translation: property id → dense table index (paper §5.1)."""
+        return PROPERTY_BASE - property_id
+
+    @staticmethod
+    def property_id_from_index(index: int) -> int:
+        """Inverse index translation: table index → property id."""
+        return PROPERTY_BASE - index
+
+    @property
+    def n_properties(self) -> int:
+        """Number of allocated property ids."""
+        return len(self._property_terms)
+
+    @property
+    def n_resources(self) -> int:
+        """Number of allocated non-property resource ids."""
+        return len(self._resource_terms)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def property_ids(self) -> List[int]:
+        """All allocated property ids, most-recently allocated last."""
+        return [
+            PROPERTY_BASE - index
+            for index in range(len(self._property_terms))
+        ]
+
+    # ------------------------------------------------------------------
+    # Density diagnostics (used by sorting heuristics and tests)
+    # ------------------------------------------------------------------
+    def resource_id_range(self) -> Tuple[int, int]:
+        """(lowest, highest) allocated resource id; (0, 0) if none."""
+        if not self._resource_terms:
+            return (0, 0)
+        return (PROPERTY_BASE + 1, PROPERTY_BASE + len(self._resource_terms))
+
+
+def scan_property_terms(triples: Sequence[Triple]) -> List[Term]:
+    """First pass of :func:`encode_dataset`: collect property-position terms.
+
+    Returns terms in first-seen order: every predicate, plus subjects /
+    objects of schema predicates that denote properties (see module doc).
+    """
+    seen: Dict[Term, None] = {}
+    for triple in triples:
+        if triple.predicate not in seen:
+            seen[triple.predicate] = None
+        positions = PROPERTY_POSITION_PREDICATES.get(triple.predicate)
+        if positions:
+            if "subject" in positions and triple.subject not in seen:
+                seen[triple.subject] = None
+            if "object" in positions and triple.object not in seen:
+                seen[triple.object] = None
+        elif (
+            triple.predicate == RDF.type
+            and triple.object in PROPERTY_MARKING_TYPES
+            and triple.subject not in seen
+        ):
+            seen[triple.subject] = None
+    return list(seen)
+
+
+def encode_dataset(
+    triples: Sequence[Triple],
+    dictionary: Optional[Dictionary] = None,
+) -> Tuple[Dictionary, List[EncodedTriple]]:
+    """Two-pass dataset encoding preserving the dense split numbering.
+
+    Pass 1 registers every property-position term as a property; pass 2
+    encodes the triples.  Returns the (possibly supplied) dictionary and
+    the encoded triple list.
+    """
+    if dictionary is None:
+        dictionary = Dictionary()
+    for term in scan_property_terms(triples):
+        dictionary.encode_property(term)
+    encoded = [dictionary.encode_triple(triple) for triple in triples]
+    return dictionary, encoded

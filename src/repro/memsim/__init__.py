@@ -1,0 +1,31 @@
+"""Memory-hierarchy simulation substrate (Figures 7–8; see DESIGN.md)."""
+
+from .address_space import AddressSpace, OBJECT_BYTES, REGION_WINDOW
+from .hierarchy import (
+    CacheSim,
+    LINE_SIZE,
+    MemoryCounters,
+    MemoryHierarchy,
+    PAGE_SIZE,
+    PageFaultSim,
+    TlbSim,
+    replay_trace,
+)
+from .tracer import NullTracer, RecordingTracer, TraceOp
+
+__all__ = [
+    "AddressSpace",
+    "CacheSim",
+    "LINE_SIZE",
+    "MemoryCounters",
+    "MemoryHierarchy",
+    "NullTracer",
+    "OBJECT_BYTES",
+    "PAGE_SIZE",
+    "PageFaultSim",
+    "RecordingTracer",
+    "REGION_WINDOW",
+    "TlbSim",
+    "TraceOp",
+    "replay_trace",
+]

@@ -1,0 +1,98 @@
+"""Virtual address-space model for trace replay.
+
+Each region named by a tracer gets its own widely-spaced virtual
+window (1 GiB apart, so growing regions never collide), mirroring how a
+runtime lays out large arrays and heaps.  The replayer asks the address
+space to expand an operation into concrete addresses:
+
+* flat-array regions are contiguous from the window base (sequential
+  scans walk them line by line);
+* hash regions spread probes uniformly over the region's current
+  footprint (multiplicative-hash placement);
+* object-heap regions place objects in allocation order with a fixed
+  object stride, and chases hop between uniformly-drawn objects.
+
+All randomness is drawn from a per-space seeded generator, so replays
+are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterator, Tuple
+
+#: Spacing between region windows — large enough that no region in any
+#: experiment outgrows its window.
+REGION_WINDOW = 1 << 30
+
+#: Modelled size of one heap object (token, dict entry, list node).
+OBJECT_BYTES = 64
+
+
+class AddressSpace:
+    """Region registry + deterministic address synthesis."""
+
+    def __init__(self, seed: int = 0x5EED):
+        self._regions: Dict[Hashable, Tuple[int, int]] = {}
+        self._rng = random.Random(seed)
+
+    def _region(self, key: Hashable) -> Tuple[int, int]:
+        entry = self._regions.get(key)
+        if entry is None:
+            base = (len(self._regions) + 1) * REGION_WINDOW
+            entry = (base, 0)
+            self._regions[key] = entry
+        return entry
+
+    def grow(self, key: Hashable, n_bytes: int) -> None:
+        """Extend a region's footprint (alloc op)."""
+        base, size = self._region(key)
+        self._regions[key] = (base, size + n_bytes)
+
+    def ensure(self, key: Hashable, n_bytes: int) -> None:
+        """Make the region at least ``n_bytes`` large."""
+        base, size = self._region(key)
+        if n_bytes > size:
+            self._regions[key] = (base, n_bytes)
+
+    def footprint(self, key: Hashable) -> int:
+        """Current size of a region in bytes."""
+        return self._region(key)[1]
+
+    def total_footprint(self) -> int:
+        """Sum of all region sizes."""
+        return sum(size for _, size in self._regions.values())
+
+    # ------------------------------------------------------------------
+    # Address synthesis
+    # ------------------------------------------------------------------
+    def sequential_addresses(
+        self, key: Hashable, n_bytes: int, stride: int
+    ) -> Iterator[int]:
+        """Addresses of a streaming scan over the region's first bytes."""
+        self.ensure(key, n_bytes)
+        base, _ = self._region(key)
+        for offset in range(0, n_bytes, stride):
+            yield base + offset
+
+    def random_addresses(self, key: Hashable, count: int) -> Iterator[int]:
+        """Uniform probes over the region's current footprint."""
+        base, size = self._region(key)
+        if size < OBJECT_BYTES:
+            self.ensure(key, OBJECT_BYTES)
+            base, size = self._region(key)
+        slots = max(1, size // 8)
+        rand = self._rng.randrange
+        for _ in range(count):
+            yield base + 8 * rand(slots)
+
+    def chase_addresses(self, key: Hashable, hops: int) -> Iterator[int]:
+        """Dependent hops between allocation-ordered heap objects."""
+        base, size = self._region(key)
+        if size < OBJECT_BYTES:
+            self.ensure(key, OBJECT_BYTES)
+            base, size = self._region(key)
+        n_objects = max(1, size // OBJECT_BYTES)
+        rand = self._rng.randrange
+        for _ in range(hops):
+            yield base + OBJECT_BYTES * rand(n_objects)

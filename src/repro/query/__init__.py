@@ -1,0 +1,5 @@
+"""BGP query layer over materialized stores (consumer-side, no inference)."""
+
+from .bgp import Query, TriplePattern, Var, parse_pattern
+
+__all__ = ["Query", "TriplePattern", "Var", "parse_pattern"]

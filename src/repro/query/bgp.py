@@ -1,0 +1,177 @@
+"""Basic-graph-pattern matching over a materialized engine.
+
+The paper's case for materialization: "inferred data can be consumed as
+explicit data without integrating the inference engine with the runtime
+query engine."  This module is that consumer — a small conjunctive
+(SPARQL-BGP-style) query evaluator that runs over the *closed* store,
+needing no inference of its own.
+
+Variables are :class:`Var` instances (``Var("x")`` or the ``?name``
+shorthand of :func:`parse_pattern`); evaluation binds them left to
+right, driving each pattern through the engine's indexed
+``query(s, p, o)`` lookups, most-selective pattern first.
+
+>>> from repro import infer ... (see examples/ and tests for full usage)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.engine import InferrayEngine
+from ..rdf.terms import IRI, Term
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable (named, compared by name)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Var, Term]
+Bindings = Dict[Var, Term]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One BGP triple pattern: any position may be a Var or a term."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> List[Var]:
+        """Variables of this pattern, in position order."""
+        return [
+            t
+            for t in (self.subject, self.predicate, self.object)
+            if isinstance(t, Var)
+        ]
+
+    def resolve(self, bindings: Bindings) -> "TriplePattern":
+        """Substitute bound variables."""
+
+        def sub(term: PatternTerm) -> PatternTerm:
+            if isinstance(term, Var):
+                return bindings.get(term, term)
+            return term
+
+        return TriplePattern(
+            sub(self.subject), sub(self.predicate), sub(self.object)
+        )
+
+    def selectivity(self, bindings: Bindings) -> int:
+        """Bound-position count under current bindings (higher = better)."""
+        resolved = self.resolve(bindings)
+        return sum(
+            not isinstance(t, Var)
+            for t in (resolved.subject, resolved.predicate, resolved.object)
+        )
+
+
+def parse_pattern(
+    subject: Union[str, Term],
+    predicate: Union[str, Term],
+    obj: Union[str, Term],
+) -> TriplePattern:
+    """Convenience constructor: ``"?x"`` strings become variables,
+    other strings become IRIs, terms pass through."""
+
+    def convert(value: Union[str, Term]) -> PatternTerm:
+        if isinstance(value, str):
+            if value.startswith("?"):
+                return Var(value[1:])
+            return IRI(value)
+        return value
+
+    return TriplePattern(convert(subject), convert(predicate), convert(obj))
+
+
+class Query:
+    """A conjunctive query: a sequence of triple patterns.
+
+    ``execute`` yields one bindings dict per solution; ``select``
+    projects chosen variables as tuples (with duplicate solutions
+    collapsed, SELECT DISTINCT semantics).
+    """
+
+    def __init__(self, patterns: Sequence[TriplePattern]):
+        if not patterns:
+            raise ValueError("a query needs at least one pattern")
+        self.patterns = list(patterns)
+
+    @classmethod
+    def parse(cls, *pattern_triples) -> "Query":
+        """Build from (s, p, o) tuples using :func:`parse_pattern`."""
+        return cls([parse_pattern(*pattern) for pattern in pattern_triples])
+
+    def _match_pattern(
+        self,
+        engine: InferrayEngine,
+        pattern: TriplePattern,
+        bindings: Bindings,
+    ) -> Iterator[Bindings]:
+        resolved = pattern.resolve(bindings)
+        query_args: List[Optional[Term]] = []
+        for term in (resolved.subject, resolved.predicate, resolved.object):
+            query_args.append(None if isinstance(term, Var) else term)
+        for triple in engine.query(*query_args):
+            new_bindings = dict(bindings)
+            consistent = True
+            for position, value in zip(
+                (resolved.subject, resolved.predicate, resolved.object),
+                (triple.subject, triple.predicate, triple.object),
+            ):
+                if isinstance(position, Var):
+                    bound = new_bindings.get(position)
+                    if bound is None:
+                        new_bindings[position] = value
+                    elif bound != value:
+                        consistent = False
+                        break
+            if consistent:
+                yield new_bindings
+
+    def execute(self, engine: InferrayEngine) -> Iterator[Bindings]:
+        """Yield every solution's bindings over the materialized store."""
+
+        def recurse(
+            remaining: List[TriplePattern], bindings: Bindings
+        ) -> Iterator[Bindings]:
+            if not remaining:
+                yield bindings
+                return
+            # Most selective pattern under current bindings first.
+            best_index = max(
+                range(len(remaining)),
+                key=lambda i: remaining[i].selectivity(bindings),
+            )
+            pattern = remaining[best_index]
+            rest = remaining[:best_index] + remaining[best_index + 1:]
+            for extended in self._match_pattern(engine, pattern, bindings):
+                yield from recurse(rest, extended)
+
+        yield from recurse(self.patterns, {})
+
+    def select(
+        self, engine: InferrayEngine, *variables: Union[Var, str]
+    ) -> List[Tuple[Term, ...]]:
+        """Distinct projected solutions, in first-seen order."""
+        projection = [
+            v if isinstance(v, Var) else Var(v.lstrip("?")) for v in variables
+        ]
+        seen = {}
+        for bindings in self.execute(engine):
+            row = tuple(bindings[v] for v in projection)
+            if row not in seen:
+                seen[row] = None
+        return list(seen)
+
+    def ask(self, engine: InferrayEngine) -> bool:
+        """True iff the query has at least one solution."""
+        return next(self.execute(engine), None) is not None

@@ -1,0 +1,120 @@
+"""A small in-memory graph of *decoded* triples.
+
+This is a convenience container for examples, tests and golden oracles —
+the engines themselves work on dictionary-encoded integer stores
+(:mod:`repro.store`).  It offers set semantics and simple pattern
+matching, mirroring what a user of a triple store's API would expect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Set
+
+from .terms import IRI, Term, Triple
+
+
+class Graph:
+    """A set of triples with ⟨s, p, o⟩ pattern matching.
+
+    Maintains three hash indexes (by subject, predicate, object) so that
+    single-position lookups are O(matches).  This is intentionally the
+    "obvious" Python structure — the point of the paper is that the
+    engines should *not* run on something like this.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None):
+        self._triples: Set[Triple] = set()
+        self._by_subject: dict = {}
+        self._by_predicate: dict = {}
+        self._by_object: dict = {}
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; returns True if it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_subject.setdefault(triple.subject, set()).add(triple)
+        self._by_predicate.setdefault(triple.predicate, set()).add(triple)
+        self._by_object.setdefault(triple.object, set()).add(triple)
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns how many were new."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove a triple if present; returns True if it was removed."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._by_subject[triple.subject].discard(triple)
+        self._by_predicate[triple.predicate].discard(triple)
+        self._by_object[triple.object].discard(triple)
+        return True
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Graph):
+            return self._triples == other._triples
+        if isinstance(other, (set, frozenset)):
+            return self._triples == other
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph is unhashable")
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching a pattern; ``None`` is a wildcard.
+
+        The most selective bound position drives the scan.
+        """
+        candidates = None
+        if subject is not None:
+            candidates = self._by_subject.get(subject, set())
+        if predicate is not None:
+            bucket = self._by_predicate.get(predicate, set())
+            candidates = bucket if candidates is None else candidates & bucket
+        if obj is not None:
+            bucket = self._by_object.get(obj, set())
+            candidates = bucket if candidates is None else candidates & bucket
+        if candidates is None:
+            candidates = self._triples
+        yield from candidates
+
+    def subjects(self, predicate: IRI, obj: Term) -> Iterator[Term]:
+        """Yield subjects s such that ⟨s, predicate, obj⟩ holds."""
+        for triple in self.triples(predicate=predicate, obj=obj):
+            yield triple.subject
+
+    def objects(self, subject: Term, predicate: IRI) -> Iterator[Term]:
+        """Yield objects o such that ⟨subject, predicate, o⟩ holds."""
+        for triple in self.triples(subject=subject, predicate=predicate):
+            yield triple.object
+
+    def copy(self) -> "Graph":
+        """Shallow copy (terms are immutable, so this is safe)."""
+        return Graph(self._triples)
+
+    def as_set(self) -> Set[Triple]:
+        """A snapshot set of the triples."""
+        return set(self._triples)

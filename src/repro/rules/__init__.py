@@ -1,0 +1,53 @@
+"""Rule machinery: Table-5 catalogue, classes and rulesets (paper §4.4)."""
+
+from .classes import (
+    AlphaRule,
+    BetaRule,
+    DomainRangeRule,
+    FunctionalPropertyRule,
+    IterativeTransitivityRule,
+    PropertyCopyRule,
+    ResourceRule,
+    SameAsRule,
+    SymmetricPropertyRule,
+    ThetaRule,
+    TrivialCopyRule,
+    TrivialTypeExpandRule,
+    merge_join_groups,
+)
+from .rulesets import (
+    RULESET_NAMES,
+    get_ruleset,
+    rule_entry,
+    ruleset_rule_names,
+)
+from .spec import Rule, RuleContext, Vocab, table_or_none
+from .table5 import BY_NAME, TABLE5, RuleEntry, make_rules
+
+__all__ = [
+    "AlphaRule",
+    "BY_NAME",
+    "BetaRule",
+    "DomainRangeRule",
+    "FunctionalPropertyRule",
+    "IterativeTransitivityRule",
+    "PropertyCopyRule",
+    "RULESET_NAMES",
+    "ResourceRule",
+    "Rule",
+    "RuleContext",
+    "RuleEntry",
+    "SameAsRule",
+    "SymmetricPropertyRule",
+    "TABLE5",
+    "ThetaRule",
+    "TrivialCopyRule",
+    "TrivialTypeExpandRule",
+    "Vocab",
+    "get_ruleset",
+    "make_rules",
+    "merge_join_groups",
+    "rule_entry",
+    "ruleset_rule_names",
+    "table_or_none",
+]

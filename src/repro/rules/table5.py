@@ -1,0 +1,280 @@
+"""The 38-rule catalogue of the paper's Table 5, as declarative data.
+
+Each entry records the paper's row number, rule name, ruleset
+memberships (``True`` = filled circle, ``"full"`` = half circle — rules
+that "do not produce meaningful triples and are used only in full
+versions of rulesets"), the paper's class label (α/β/γ/δ/θ/same-as/–)
+and a factory building the executor.
+
+The four EQ-REP*/EQ-SYM rows note which executor *instance* they share:
+the paper "handles the four rules with a single loop" — here EQ-REP-S,
+EQ-REP-P and EQ-REP-O share one :class:`SameAsRule`, while EQ-SYM is the
+trivial single-antecedent case.
+
+RDFS8's head is printed garbled in the paper's PDF; we implement the
+W3C RDF-Semantics form ``x rdf:type rdfs:Class → x rdfs:subClassOf
+rdfs:Resource`` (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from .classes import (
+    AlphaRule,
+    BetaRule,
+    DomainRangeRule,
+    FunctionalPropertyRule,
+    PropertyCopyRule,
+    ResourceRule,
+    SameAsRule,
+    SymmetricPropertyRule,
+    ThetaRule,
+    TrivialCopyRule,
+    TrivialTypeExpandRule,
+)
+from .spec import Rule
+
+Membership = Union[bool, str]  # True, False, or "full"
+
+
+@dataclass(frozen=True)
+class RuleEntry:
+    """One Table-5 row."""
+
+    number: int
+    name: str
+    rdfs: Membership
+    rho_df: Membership
+    rdfs_plus: Membership
+    paper_class: str
+    factory: Optional[Callable[[], Rule]]
+    #: For rows sharing one executor (EQ-REP-*), the canonical row name.
+    shared_executor: Optional[str] = None
+
+
+def _alpha(name, p1, pos1, p2, pos2, out, hs, ho):
+    return lambda: AlphaRule(name, p1, pos1, p2, pos2, out, hs, ho)
+
+
+TABLE5: List[RuleEntry] = [
+    RuleEntry(
+        1, "CAX-EQC1", False, False, True, "alpha",
+        _alpha("CAX-EQC1", "equivalentClass", "s", "type", "o",
+               "type", "r2", "r1"),
+    ),
+    RuleEntry(
+        2, "CAX-EQC2", False, False, True, "alpha",
+        _alpha("CAX-EQC2", "equivalentClass", "o", "type", "o",
+               "type", "r2", "r1"),
+    ),
+    RuleEntry(
+        3, "CAX-SCO", True, True, True, "alpha",
+        _alpha("CAX-SCO", "subClassOf", "s", "type", "o",
+               "type", "r2", "r1"),
+    ),
+    RuleEntry(
+        4, "EQ-REP-O", False, False, True, "same-as",
+        lambda: SameAsRule("EQ-REP"), shared_executor="EQ-REP",
+    ),
+    RuleEntry(
+        5, "EQ-REP-P", False, False, True, "same-as",
+        lambda: SameAsRule("EQ-REP"), shared_executor="EQ-REP",
+    ),
+    RuleEntry(
+        6, "EQ-REP-S", False, False, True, "same-as",
+        lambda: SameAsRule("EQ-REP"), shared_executor="EQ-REP",
+    ),
+    RuleEntry(
+        7, "EQ-SYM", False, False, True, "trivial",
+        lambda: TrivialCopyRule("EQ-SYM", "sameAs", [("b", "sameAs", "a")]),
+    ),
+    RuleEntry(
+        8, "EQ-TRANS", False, False, True, "theta",
+        lambda: ThetaRule("EQ-TRANS", "sameAs"),
+    ),
+    RuleEntry(
+        9, "PRP-DOM", True, True, True, "gamma",
+        lambda: DomainRangeRule("PRP-DOM", "domain", use_subjects=True),
+    ),
+    RuleEntry(
+        10, "PRP-EQP1", False, False, True, "delta",
+        lambda: PropertyCopyRule(
+            "PRP-EQP1", "equivalentProperty", forward=True, reverse=False
+        ),
+    ),
+    RuleEntry(
+        11, "PRP-EQP2", False, False, True, "delta",
+        lambda: PropertyCopyRule(
+            "PRP-EQP2", "equivalentProperty", forward=False, reverse=False
+        ),
+    ),
+    RuleEntry(
+        12, "PRP-FP", False, False, True, "functional",
+        lambda: FunctionalPropertyRule("PRP-FP", inverse=False),
+    ),
+    RuleEntry(
+        13, "PRP-IFP", False, False, True, "functional",
+        lambda: FunctionalPropertyRule("PRP-IFP", inverse=True),
+    ),
+    RuleEntry(
+        14, "PRP-INV1", False, False, True, "delta",
+        lambda: PropertyCopyRule(
+            "PRP-INV1", "inverseOf", forward=True, reverse=True
+        ),
+    ),
+    RuleEntry(
+        15, "PRP-INV2", False, False, True, "delta",
+        lambda: PropertyCopyRule(
+            "PRP-INV2", "inverseOf", forward=False, reverse=True
+        ),
+    ),
+    RuleEntry(
+        16, "PRP-RNG", True, True, True, "gamma",
+        lambda: DomainRangeRule("PRP-RNG", "range", use_subjects=False),
+    ),
+    RuleEntry(
+        17, "PRP-SPO1", True, True, True, "gamma",
+        lambda: PropertyCopyRule(
+            "PRP-SPO1", "subPropertyOf", forward=True, reverse=False
+        ),
+    ),
+    RuleEntry(
+        18, "PRP-SYMP", False, False, True, "gamma",
+        lambda: SymmetricPropertyRule("PRP-SYMP"),
+    ),
+    RuleEntry(
+        19, "PRP-TRP", False, False, True, "theta",
+        lambda: ThetaRule("PRP-TRP", "transitive"),
+    ),
+    RuleEntry(
+        20, "SCM-DOM1", True, False, True, "alpha",
+        _alpha("SCM-DOM1", "domain", "o", "subClassOf", "s",
+               "domain", "r1", "r2"),
+    ),
+    RuleEntry(
+        21, "SCM-DOM2", True, True, True, "alpha",
+        _alpha("SCM-DOM2", "domain", "s", "subPropertyOf", "o",
+               "domain", "r2", "r1"),
+    ),
+    RuleEntry(
+        22, "SCM-EQC1", False, False, True, "trivial",
+        lambda: TrivialCopyRule(
+            "SCM-EQC1", "equivalentClass",
+            [("a", "subClassOf", "b"), ("b", "subClassOf", "a")],
+        ),
+    ),
+    RuleEntry(
+        23, "SCM-EQC2", False, False, True, "beta",
+        lambda: BetaRule("SCM-EQC2", "subClassOf", "equivalentClass"),
+    ),
+    RuleEntry(
+        24, "SCM-EQP1", False, False, True, "trivial",
+        lambda: TrivialCopyRule(
+            "SCM-EQP1", "equivalentProperty",
+            [("a", "subPropertyOf", "b"), ("b", "subPropertyOf", "a")],
+        ),
+    ),
+    RuleEntry(
+        25, "SCM-EQP2", False, False, True, "beta",
+        lambda: BetaRule("SCM-EQP2", "subPropertyOf", "equivalentProperty"),
+    ),
+    RuleEntry(
+        26, "SCM-RNG1", True, False, True, "alpha",
+        _alpha("SCM-RNG1", "range", "o", "subClassOf", "s",
+               "range", "r1", "r2"),
+    ),
+    RuleEntry(
+        27, "SCM-RNG2", True, True, True, "alpha",
+        _alpha("SCM-RNG2", "range", "s", "subPropertyOf", "o",
+               "range", "r2", "r1"),
+    ),
+    RuleEntry(
+        28, "SCM-SCO", True, True, True, "theta",
+        lambda: ThetaRule("SCM-SCO", "subClassOf"),
+    ),
+    RuleEntry(
+        29, "SCM-SPO", True, True, True, "theta",
+        lambda: ThetaRule("SCM-SPO", "subPropertyOf"),
+    ),
+    RuleEntry(
+        30, "SCM-CLS", False, False, "full", "trivial",
+        lambda: TrivialTypeExpandRule(
+            "SCM-CLS", "owlClass",
+            [
+                ("x", "subClassOf", "x"),
+                ("x", "equivalentClass", "x"),
+                ("x", "subClassOf", "Thing"),
+                ("Nothing", "subClassOf", "x"),
+            ],
+        ),
+    ),
+    RuleEntry(
+        31, "SCM-DP", False, False, "full", "trivial",
+        lambda: TrivialTypeExpandRule(
+            "SCM-DP", "DatatypeProperty",
+            [("x", "subPropertyOf", "x"), ("x", "equivalentProperty", "x")],
+        ),
+    ),
+    RuleEntry(
+        32, "SCM-OP", False, False, "full", "trivial",
+        lambda: TrivialTypeExpandRule(
+            "SCM-OP", "ObjectProperty",
+            [("x", "subPropertyOf", "x"), ("x", "equivalentProperty", "x")],
+        ),
+    ),
+    RuleEntry(
+        33, "RDFS4", "full", "full", "full", "trivial",
+        lambda: ResourceRule("RDFS4"),
+    ),
+    RuleEntry(
+        34, "RDFS8", "full", False, False, "trivial",
+        lambda: TrivialTypeExpandRule(
+            "RDFS8", "rdfsClass", [("x", "subClassOf", "Resource")]
+        ),
+    ),
+    RuleEntry(
+        35, "RDFS12", "full", False, False, "trivial",
+        lambda: TrivialTypeExpandRule(
+            "RDFS12", "ContainerMembershipProperty",
+            [("x", "subPropertyOf", "member")],
+        ),
+    ),
+    RuleEntry(
+        36, "RDFS13", "full", False, False, "trivial",
+        lambda: TrivialTypeExpandRule(
+            "RDFS13", "Datatype", [("x", "subClassOf", "Literal")]
+        ),
+    ),
+    RuleEntry(
+        37, "RDFS6", "full", False, False, "trivial",
+        lambda: TrivialTypeExpandRule(
+            "RDFS6", "Property", [("x", "subPropertyOf", "x")]
+        ),
+    ),
+    RuleEntry(
+        38, "RDFS10", "full", False, False, "trivial",
+        lambda: TrivialTypeExpandRule(
+            "RDFS10", "rdfsClass", [("x", "subClassOf", "x")]
+        ),
+    ),
+]
+
+BY_NAME: Dict[str, RuleEntry] = {entry.name: entry for entry in TABLE5}
+
+
+def make_rules(names: List[str]) -> List[Rule]:
+    """Instantiate executors for rule names, deduplicating shared ones."""
+    rules: List[Rule] = []
+    seen_shared = set()
+    for name in names:
+        entry = BY_NAME[name]
+        if entry.factory is None:  # pragma: no cover - all rows have one
+            continue
+        if entry.shared_executor is not None:
+            if entry.shared_executor in seen_shared:
+                continue
+            seen_shared.add(entry.shared_executor)
+        rules.append(entry.factory())
+    return rules

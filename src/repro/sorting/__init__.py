@@ -1,0 +1,41 @@
+"""Pair-sorting subsystem: counting sort, MSDA radix, dispatch (paper §5)."""
+
+from .counting import (
+    SortingError,
+    counting_sort_pairs,
+    counting_sort_values,
+)
+from .dispatch import (
+    ALGORITHMS,
+    choose_algorithm,
+    entropy_bits,
+    sort_pairs,
+    subject_range,
+    timsort_pairs,
+)
+from .generic import mergesort_pairs, numpy_sort_pairs, quicksort_pairs
+from .radix import (
+    lsd_radix_sort_pairs,
+    msd_radix_sort_pairs,
+    msda_radix_sort_pairs,
+    significant_bytes,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "SortingError",
+    "choose_algorithm",
+    "counting_sort_pairs",
+    "counting_sort_values",
+    "entropy_bits",
+    "lsd_radix_sort_pairs",
+    "mergesort_pairs",
+    "msd_radix_sort_pairs",
+    "msda_radix_sort_pairs",
+    "numpy_sort_pairs",
+    "quicksort_pairs",
+    "significant_bytes",
+    "sort_pairs",
+    "subject_range",
+    "timsort_pairs",
+]

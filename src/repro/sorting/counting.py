@@ -1,0 +1,182 @@
+"""Counting sort for key/value pairs — paper Algorithm 2.
+
+The input layout is exactly the paper's: a flat array of 64-bit integers
+where even indices hold subjects (keys) and odd indices hold the objects
+(values) of ⟨s, o⟩ pairs.  The algorithm:
+
+1. builds a histogram of the subjects (and keeps a copy);
+2. computes each subject's starting offset by a cumulative scan;
+3. scatters the objects into per-subject *sub-arrays* of one flat
+   ``objects`` array, using the histogram counters as cursors;
+4. sorts each sub-array independently;
+5. rebuilds the pair array by walking the histogram copy in key order,
+   optionally skipping duplicate ⟨s, o⟩ pairs, and trims the result.
+
+The only deviation from the paper's pseudo-code is step 4: the paper
+reuses a scalar counting sort for the sub-arrays; here small sub-arrays
+(the overwhelmingly common case in property tables) use insertion-style
+``list.sort`` and larger ones use a scalar counting sort when their local
+range is narrow enough to pay off — the asymptotics of Algorithm 2 are
+unchanged.  See DESIGN.md §6.
+
+Complexity: O(n + r) time and O(n + r) space, for n pairs with subject
+range r.  This is the regime where the dense numbering of
+:mod:`repro.dictionary` makes r ≈ number of distinct subjects.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Union
+
+PairArray = array
+
+#: Sub-arrays at or below this length are sorted with list.sort().
+_SMALL_SUBARRAY = 32
+
+#: A sub-array uses scalar counting sort when range <= factor * length.
+_SUBARRAY_RANGE_FACTOR = 4
+
+
+class SortingError(ValueError):
+    """Raised on malformed pair arrays (odd length, empty width…)."""
+
+
+def _check_pairs(pairs: Union[PairArray, List[int]]) -> int:
+    """Validate the flat layout; returns the number of pairs."""
+    length = len(pairs)
+    if length % 2 != 0:
+        raise SortingError(
+            f"pair array must have even length, got {length}"
+        )
+    return length // 2
+
+
+def _counting_sort_values(values: List[int]) -> List[int]:
+    """Scalar counting sort used for object sub-arrays (paper line 12)."""
+    low = min(values)
+    high = max(values)
+    width = high - low + 1
+    histogram = [0] * width
+    for value in values:
+        histogram[value - low] += 1
+    out: List[int] = []
+    for offset, count in enumerate(histogram):
+        if count:
+            out.extend([low + offset] * count)
+    return out
+
+
+def _sort_subarray(objects: List[int], start: int, end: int) -> None:
+    """Sort ``objects[start:end]`` in place (paper's sortFromTo)."""
+    length = end - start
+    if length <= 1:
+        return
+    chunk = objects[start:end]
+    if length <= _SMALL_SUBARRAY:
+        chunk.sort()
+    else:
+        low = min(chunk)
+        high = max(chunk)
+        if high - low + 1 <= _SUBARRAY_RANGE_FACTOR * length:
+            chunk = _counting_sort_values(chunk)
+        else:
+            chunk.sort()
+    objects[start:end] = chunk
+
+
+def counting_sort_pairs(
+    pairs: Union[PairArray, List[int]],
+    *,
+    dedup: bool = True,
+) -> PairArray:
+    """Sort a flat ⟨s, o⟩ pair array by (s, o); optionally drop duplicates.
+
+    Parameters
+    ----------
+    pairs:
+        Flat sequence of 64-bit ints, subjects on even indices.
+    dedup:
+        When True (the paper's merge-path usage), duplicate ⟨s, o⟩ pairs
+        are removed and the output is trimmed (Algorithm 2 lines 20–27).
+
+    Returns
+    -------
+    array('q')
+        A new sorted (and possibly deduplicated) flat pair array.
+    """
+    n_pairs = _check_pairs(pairs)
+    if n_pairs == 0:
+        return array("q")
+    if n_pairs == 1:
+        return array("q", pairs)
+
+    # Subject range (the "width" of the histogram).
+    minimum = pairs[0]
+    maximum = pairs[0]
+    for i in range(0, 2 * n_pairs, 2):
+        subject = pairs[i]
+        if subject < minimum:
+            minimum = subject
+        elif subject > maximum:
+            maximum = subject
+    width = maximum - minimum + 1
+
+    # Lines 1-2: histogram of subjects, and a copy for the rebuild pass.
+    histogram = [0] * width
+    for i in range(0, 2 * n_pairs, 2):
+        histogram[pairs[i] - minimum] += 1
+    histogram_copy = histogram[:]
+
+    # Line 3: starting position of each subject's object sub-array.
+    start = [0] * (width + 1)
+    running = 0
+    for index in range(width):
+        start[index] = running
+        running += histogram[index]
+    start[width] = running
+
+    # Lines 4-10: scatter objects into per-subject sub-arrays.  The
+    # histogram entry of a subject acts as a down-counting cursor, so
+    # objects fill their sub-array from the end.
+    objects = [0] * n_pairs
+    for i in range(0, 2 * n_pairs, 2):
+        slot = pairs[i] - minimum
+        position = start[slot]
+        remaining = histogram[slot]
+        histogram[slot] = remaining - 1
+        objects[position + remaining - 1] = pairs[i + 1]
+
+    # Lines 11-13: sort each sub-array.
+    for index in range(width):
+        _sort_subarray(objects, start[index], start[index + 1])
+
+    # Lines 14-26: rebuild, skipping duplicates when requested.
+    result = array("q", bytes(16 * n_pairs))
+    write = 0
+    read = 0
+    previous_object = 0
+    for index in range(width):
+        count = histogram_copy[index]
+        if not count:
+            continue
+        subject = minimum + index
+        for k in range(count):
+            obj = objects[read]
+            read += 1
+            if not dedup or k == 0 or obj != previous_object:
+                result[write] = subject
+                result[write + 1] = obj
+                write += 2
+            previous_object = obj
+
+    # Line 27: trim to the deduplicated size.
+    del result[write:]
+    return result
+
+
+def counting_sort_values(values: Union[List[int], PairArray]) -> List[int]:
+    """Plain scalar counting sort (exposed for tests and benchmarks)."""
+    if not len(values):
+        return []
+    return _counting_sort_values(list(values))

@@ -1,0 +1,12 @@
+"""Vertical-partitioning triple store (paper §4.2–4.3)."""
+
+from .property_table import PairArray, PropertyTable, pairs_as_tuples
+from .triple_store import InferredBuffers, TripleStore
+
+__all__ = [
+    "InferredBuffers",
+    "PairArray",
+    "PropertyTable",
+    "TripleStore",
+    "pairs_as_tuples",
+]

@@ -1,0 +1,296 @@
+"""Property tables: the vertical-partitioning storage unit (paper §4.2).
+
+One :class:`PropertyTable` holds every ⟨subject, object⟩ pair of a single
+property as a flat dynamic array of 64-bit integers (even index =
+subject, odd index = object), kept **sorted on ⟨s, o⟩ and duplicate-free**
+between iterations.  A second array sorted on ⟨o, s⟩ is computed lazily
+when a rule needs an object-keyed merge join, cached, and invalidated
+whenever new pairs are merged in (paper: "The cached ⟨o,s⟩ sorted index
+is computed lazily upon need").
+
+The Figure-5 update step lives here as :meth:`PropertyTable.merge`: the
+already sorted+deduplicated inferred pairs are merged with the main
+pairs in one linear pass that simultaneously produces the updated main
+table and the ``new`` table (inferred pairs that were not already known).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Optional, Tuple, Union
+
+from ..sorting.dispatch import sort_pairs
+
+PairArray = array
+
+
+def pairs_as_tuples(flat: PairArray) -> List[Tuple[int, int]]:
+    """Debug/test helper: flat layout → list of (first, second) tuples."""
+    return list(zip(flat[0::2], flat[1::2]))
+
+
+class PropertyTable:
+    """Sorted, duplicate-free ⟨s, o⟩ pairs of one property.
+
+    Parameters
+    ----------
+    pairs:
+        Optional initial flat pair data (need not be sorted; it is
+        committed through the sorting dispatcher).
+    algorithm:
+        Sorting backend forwarded to :func:`repro.sorting.sort_pairs`
+        ('auto' applies the paper's operating-range policy).
+    tracer:
+        Optional :class:`repro.memsim.tracer.Tracer`; when set, the
+        table reports its sequential scans and writes so the memory
+        simulator can replay them (see DESIGN.md, Figures 7–8).
+    """
+
+    __slots__ = (
+        "_pairs",
+        "_os_cache",
+        "_algorithm",
+        "tracer",
+        "_trace_id",
+        "cache_os",
+    )
+
+    def __init__(
+        self,
+        pairs: Optional[Union[PairArray, List[int]]] = None,
+        *,
+        algorithm: str = "auto",
+        tracer=None,
+        trace_id: int = 0,
+        cache_os: bool = True,
+    ):
+        self._algorithm = algorithm
+        self.tracer = tracer
+        self._trace_id = trace_id
+        self.cache_os = cache_os
+        self._os_cache: Optional[PairArray] = None
+        if pairs is None or not len(pairs):
+            self._pairs = array("q")
+        else:
+            self._pairs, _ = sort_pairs(pairs, dedup=True, algorithm=algorithm)
+            self._trace_sort(len(self._pairs) // 2)
+
+    # ------------------------------------------------------------------
+    # Tracing (one call per table-level operation; memsim expands these
+    # into element-level address streams)
+    # ------------------------------------------------------------------
+    def _trace_sort(self, n_pairs: int) -> None:
+        if self.tracer is not None and n_pairs:
+            self.tracer.sequential_scan(("table", self._trace_id), n_pairs * 16)
+
+    def _trace_scan(self, n_pairs: int) -> None:
+        if self.tracer is not None and n_pairs:
+            self.tracer.sequential_scan(("table", self._trace_id), n_pairs * 16)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> PairArray:
+        """The committed flat ⟨s, o⟩ array (do not mutate)."""
+        return self._pairs
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of ⟨s, o⟩ pairs stored."""
+        return len(self._pairs) // 2
+
+    def __len__(self) -> int:
+        return self.n_pairs
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def os_pairs(self) -> PairArray:
+        """The ⟨o, s⟩-sorted view (object at even indices), lazily cached.
+
+        The view is a *permutation* of the table with components swapped
+        — the paper stores it as a cached second array that may be
+        dropped under memory pressure (:meth:`drop_os_cache`).  With
+        ``cache_os=False`` (the ablation configuration) the view is
+        recomputed on every call.
+        """
+        if self._os_cache is not None:
+            return self._os_cache
+        swapped = array("q", bytes(8 * len(self._pairs)))
+        swapped[0::2] = self._pairs[1::2]
+        swapped[1::2] = self._pairs[0::2]
+        view, _ = sort_pairs(swapped, dedup=False, algorithm=self._algorithm)
+        self._trace_sort(self.n_pairs)
+        if self.cache_os:
+            self._os_cache = view
+        return view
+
+    @property
+    def has_os_cache(self) -> bool:
+        """Whether the ⟨o, s⟩ view is currently materialised."""
+        return self._os_cache is not None
+
+    def drop_os_cache(self) -> None:
+        """Release the cached ⟨o, s⟩ view (memory-pressure valve)."""
+        self._os_cache = None
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def contains(self, subject: int, obj: int) -> bool:
+        """Binary search for one ⟨s, o⟩ pair."""
+        pairs = self._pairs
+        low = 0
+        high = len(pairs) // 2 - 1
+        while low <= high:
+            mid = (low + high) // 2
+            mid_s = pairs[2 * mid]
+            mid_o = pairs[2 * mid + 1]
+            if (mid_s, mid_o) < (subject, obj):
+                low = mid + 1
+            elif (mid_s, mid_o) > (subject, obj):
+                high = mid - 1
+            else:
+                return True
+        return False
+
+    def subject_slice(self, subject: int) -> Tuple[int, int]:
+        """Pair-index range [start, end) of rows with this subject."""
+        return _key_slice(self._pairs, subject)
+
+    def objects_of(self, subject: int) -> List[int]:
+        """All objects paired with ``subject`` (sorted)."""
+        start, end = self.subject_slice(subject)
+        return [self._pairs[2 * i + 1] for i in range(start, end)]
+
+    def subjects_of(self, obj: int) -> List[int]:
+        """All subjects paired with ``obj`` (sorted; uses the o-s view)."""
+        view = self.os_pairs()
+        start, end = _key_slice(view, obj)
+        return [view[2 * i + 1] for i in range(start, end)]
+
+    def iter_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ⟨s, o⟩ tuples in sorted order."""
+        pairs = self._pairs
+        for i in range(0, len(pairs), 2):
+            yield pairs[i], pairs[i + 1]
+
+    def distinct_subjects(self) -> List[int]:
+        """Sorted distinct subjects."""
+        out: List[int] = []
+        previous = None
+        for i in range(0, len(self._pairs), 2):
+            subject = self._pairs[i]
+            if subject != previous:
+                out.append(subject)
+                previous = subject
+        return out
+
+    def distinct_objects(self) -> List[int]:
+        """Sorted distinct objects (uses the o-s view)."""
+        view = self.os_pairs()
+        out: List[int] = []
+        previous = None
+        for i in range(0, len(view), 2):
+            obj = view[i]
+            if obj != previous:
+                out.append(obj)
+                previous = obj
+        return out
+
+    # ------------------------------------------------------------------
+    # Figure-5 update
+    # ------------------------------------------------------------------
+    def merge(self, inferred_sorted: PairArray) -> PairArray:
+        """Merge sorted+deduplicated inferred pairs; return the new ones.
+
+        One linear pass implements both steps of Figure 5: ``main`` is
+        replaced by ``main ∪ inferred`` (still sorted-unique) and the
+        returned array holds exactly ``inferred ∖ main`` — the pairs
+        that feed the next iteration.  The ⟨o, s⟩ cache is invalidated
+        when anything new arrived.
+        """
+        main = self._pairs
+        if not len(inferred_sorted):
+            return array("q")
+        if not len(main):
+            self._pairs = array("q", inferred_sorted)
+            self._os_cache = None
+            self._trace_scan(len(inferred_sorted) // 2)
+            return array("q", inferred_sorted)
+
+        merged = array("q")
+        new = array("q")
+        i = 0
+        j = 0
+        len_main = len(main)
+        len_inf = len(inferred_sorted)
+        while i < len_main and j < len_inf:
+            main_key = (main[i], main[i + 1])
+            inf_key = (inferred_sorted[j], inferred_sorted[j + 1])
+            if main_key < inf_key:
+                merged.append(main_key[0])
+                merged.append(main_key[1])
+                i += 2
+            elif main_key > inf_key:
+                merged.append(inf_key[0])
+                merged.append(inf_key[1])
+                new.append(inf_key[0])
+                new.append(inf_key[1])
+                j += 2
+            else:  # duplicate: keep once, not new
+                merged.append(main_key[0])
+                merged.append(main_key[1])
+                i += 2
+                j += 2
+        if i < len_main:
+            merged.extend(main[i:])
+        if j < len_inf:
+            merged.extend(inferred_sorted[j:])
+            new.extend(inferred_sorted[j:])
+
+        self._trace_scan((len_main + len_inf) // 2)
+        self._pairs = merged
+        if len(new):
+            self._os_cache = None
+        return new
+
+    def as_set(self) -> set:
+        """Snapshot of the pairs as a set of tuples (tests)."""
+        return set(self.iter_pairs())
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the pair array (+ the o-s cache if present).
+
+        The fixed-length 64-bit encoding makes this exact: 16 bytes per
+        pair per array — the figure the paper's scalability discussion
+        (chains > 25,000 exhausting 16 GB) is about.
+        """
+        total = 8 * len(self._pairs)
+        if self._os_cache is not None:
+            total += 8 * len(self._os_cache)
+        return total
+
+
+def _key_slice(flat: PairArray, key: int) -> Tuple[int, int]:
+    """[start, end) pair-index range of rows whose even-component == key."""
+    n_pairs = len(flat) // 2
+    # Lower bound.
+    low, high = 0, n_pairs
+    while low < high:
+        mid = (low + high) // 2
+        if flat[2 * mid] < key:
+            low = mid + 1
+        else:
+            high = mid
+    start = low
+    # Upper bound.
+    high = n_pairs
+    while low < high:
+        mid = (low + high) // 2
+        if flat[2 * mid] <= key:
+            low = mid + 1
+        else:
+            high = mid
+    return start, low

@@ -1,0 +1,288 @@
+"""The vertically-partitioned triple store (paper §4.2–4.3).
+
+A :class:`TripleStore` maps property ids to :class:`PropertyTable`\\ s.
+With the dense numbering of :mod:`repro.dictionary` the property id of a
+table is a simple index translation away from its position in the table
+array — in this Python reproduction the translation feeds a dict keyed
+by property id, which also gracefully accommodates the rare
+non-promoted ids discussed in DESIGN.md §6.
+
+The store exposes the three-store workflow of Algorithm 1:
+``main`` and ``new`` are TripleStores, while the per-iteration
+``inferred`` triples accumulate in an :class:`InferredBuffers` (raw
+unsorted append-only arrays, one per property, mirroring the paper's
+per-rule output tables).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..dictionary.encoding import EncodedTriple
+from ..sorting.dispatch import sort_pairs
+from .property_table import PairArray, PropertyTable
+
+
+class InferredBuffers:
+    """Per-property unsorted output buffers for one rule-firing round.
+
+    Rules emit raw ⟨s, o⟩ pairs here; the buffers get sorted and
+    deduplicated once per iteration (Figure 5, first step).
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[int, PairArray] = {}
+
+    def emit(self, property_id: int, subject: int, obj: int) -> None:
+        """Append one inferred ⟨s, o⟩ pair for a property."""
+        buffer = self._buffers.get(property_id)
+        if buffer is None:
+            buffer = array("q")
+            self._buffers[property_id] = buffer
+        buffer.append(subject)
+        buffer.append(obj)
+
+    def extend(self, property_id: int, flat_pairs: PairArray) -> None:
+        """Append many raw pairs at once."""
+        if not len(flat_pairs):
+            return
+        buffer = self._buffers.get(property_id)
+        if buffer is None:
+            buffer = array("q")
+            self._buffers[property_id] = buffer
+        buffer.extend(flat_pairs)
+
+    def items(self) -> Iterator[Tuple[int, PairArray]]:
+        """(property_id, raw pair buffer) for every touched property."""
+        return iter(self._buffers.items())
+
+    def __len__(self) -> int:
+        """Total number of raw (pre-dedup) pairs buffered."""
+        return sum(len(buf) for buf in self._buffers.values()) // 2
+
+    def __bool__(self) -> bool:
+        return any(len(buf) for buf in self._buffers.values())
+
+
+class TripleStore:
+    """Property-id → PropertyTable mapping with bulk loading and queries."""
+
+    def __init__(
+        self, *, algorithm: str = "auto", tracer=None, cache_os: bool = True
+    ):
+        self._tables: Dict[int, PropertyTable] = {}
+        self._algorithm = algorithm
+        self.tracer = tracer
+        self.cache_os = cache_os
+
+    # ------------------------------------------------------------------
+    # Table access
+    # ------------------------------------------------------------------
+    def table(self, property_id: int) -> Optional[PropertyTable]:
+        """The table for a property, or ``None`` if it has no triples."""
+        return self._tables.get(property_id)
+
+    def get_or_create(self, property_id: int) -> PropertyTable:
+        """The table for a property, creating an empty one if missing."""
+        table = self._tables.get(property_id)
+        if table is None:
+            table = PropertyTable(
+                algorithm=self._algorithm,
+                tracer=self.tracer,
+                trace_id=property_id,
+                cache_os=self.cache_os,
+            )
+            self._tables[property_id] = table
+        return table
+
+    def property_ids(self) -> List[int]:
+        """Ids of all non-empty properties."""
+        return [pid for pid, table in self._tables.items() if table]
+
+    def __contains__(self, encoded: EncodedTriple) -> bool:
+        subject, property_id, obj = encoded
+        table = self._tables.get(property_id)
+        return bool(table) and table.contains(subject, obj)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add_encoded(self, triples: Iterable[EncodedTriple]) -> None:
+        """Bulk-load encoded triples: partition by property, sort, dedup."""
+        staging: Dict[int, PairArray] = {}
+        for subject, property_id, obj in triples:
+            buffer = staging.get(property_id)
+            if buffer is None:
+                buffer = array("q")
+                staging[property_id] = buffer
+            buffer.append(subject)
+            buffer.append(obj)
+        for property_id, buffer in staging.items():
+            existing = self._tables.get(property_id)
+            if existing is not None and existing:
+                sorted_pairs, _ = sort_pairs(
+                    buffer, dedup=True, algorithm=self._algorithm
+                )
+                existing.merge(sorted_pairs)
+            else:
+                self._tables[property_id] = PropertyTable(
+                    buffer,
+                    algorithm=self._algorithm,
+                    tracer=self.tracer,
+                    trace_id=property_id,
+                    cache_os=self.cache_os,
+                )
+
+    def add_pairs(self, property_id: int, flat_pairs: PairArray) -> None:
+        """Bulk-load raw pairs for one property."""
+        if not len(flat_pairs):
+            return
+        existing = self._tables.get(property_id)
+        if existing is not None and existing:
+            sorted_pairs, _ = sort_pairs(
+                flat_pairs, dedup=True, algorithm=self._algorithm
+            )
+            existing.merge(sorted_pairs)
+        else:
+            self._tables[property_id] = PropertyTable(
+                flat_pairs,
+                algorithm=self._algorithm,
+                tracer=self.tracer,
+                trace_id=property_id,
+                cache_os=self.cache_os,
+            )
+
+    # ------------------------------------------------------------------
+    # Figure-5 iteration update
+    # ------------------------------------------------------------------
+    def merge_inferred(self, inferred: InferredBuffers) -> "TripleStore":
+        """Apply the per-iteration update; returns the ``new`` store.
+
+        For every property with inferred pairs: sort + dedup the raw
+        buffer, merge it into this (main) store, and collect the pairs
+        that were genuinely new into the returned delta store.
+        """
+        new_store = TripleStore(
+            algorithm=self._algorithm,
+            tracer=self.tracer,
+            cache_os=self.cache_os,
+        )
+        for property_id, buffer in inferred.items():
+            if not len(buffer):
+                continue
+            sorted_pairs, _ = sort_pairs(
+                buffer, dedup=True, algorithm=self._algorithm
+            )
+            table = self.get_or_create(property_id)
+            new_pairs = table.merge(sorted_pairs)
+            if len(new_pairs):
+                new_store._tables[property_id] = PropertyTable(
+                    new_pairs,
+                    algorithm=self._algorithm,
+                    tracer=self.tracer,
+                    trace_id=property_id,
+                    cache_os=self.cache_os,
+                )
+        return new_store
+
+    # ------------------------------------------------------------------
+    # Inspection / queries
+    # ------------------------------------------------------------------
+    @property
+    def n_triples(self) -> int:
+        """Total number of stored triples."""
+        return sum(table.n_pairs for table in self._tables.values())
+
+    def __len__(self) -> int:
+        return self.n_triples
+
+    def __bool__(self) -> bool:
+        return any(table for table in self._tables.values())
+
+    def triples(self) -> Iterator[EncodedTriple]:
+        """Iterate every (s, p, o), grouped by property."""
+        for property_id, table in self._tables.items():
+            for subject, obj in table.iter_pairs():
+                yield (subject, property_id, obj)
+
+    def query(
+        self,
+        subject: Optional[int] = None,
+        property_id: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        """Pattern query with ``None`` wildcards.
+
+        Bound-property queries use binary search on the sorted table (or
+        its ⟨o, s⟩ view); unbound-property queries scan all tables.
+        """
+        if property_id is not None:
+            tables = [(property_id, self._tables.get(property_id))]
+        else:
+            tables = list(self._tables.items())
+        for pid, table in tables:
+            if table is None or not table:
+                continue
+            if subject is not None and obj is not None:
+                if table.contains(subject, obj):
+                    yield (subject, pid, obj)
+            elif subject is not None:
+                for o in table.objects_of(subject):
+                    yield (subject, pid, o)
+            elif obj is not None:
+                for s in table.subjects_of(obj):
+                    yield (s, pid, obj)
+            else:
+                for s, o in table.iter_pairs():
+                    yield (s, pid, o)
+
+    def as_set(self) -> set:
+        """Snapshot as a set of (s, p, o) tuples (tests)."""
+        return set(self.triples())
+
+    def copy(self) -> "TripleStore":
+        """Deep copy of tables (pair arrays are copied)."""
+        out = TripleStore(
+            algorithm=self._algorithm,
+            tracer=self.tracer,
+            cache_os=self.cache_os,
+        )
+        for property_id, table in self._tables.items():
+            out._tables[property_id] = PropertyTable(
+                array("q", table.pairs),
+                algorithm=self._algorithm,
+                tracer=self.tracer,
+                trace_id=property_id,
+                cache_os=self.cache_os,
+            )
+        return out
+
+    def memory_bytes(self) -> int:
+        """Total bytes held by all pair arrays and o-s caches."""
+        return sum(
+            table.memory_bytes() for table in self._tables.values()
+        )
+
+    def drop_os_caches(self) -> int:
+        """Release every cached ⟨o, s⟩ view (the paper's memory valve);
+        returns the number of caches dropped."""
+        dropped = 0
+        for table in self._tables.values():
+            if table.has_os_cache:
+                table.drop_os_cache()
+                dropped += 1
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Basic size statistics (used by benchmarks and examples)."""
+        tables = [t for t in self._tables.values() if t]
+        return {
+            "n_properties": len(tables),
+            "n_triples": self.n_triples,
+            "largest_table": max((t.n_pairs for t in tables), default=0),
+            "os_caches": sum(1 for t in tables if t.has_os_cache),
+            "memory_bytes": self.memory_bytes(),
+        }

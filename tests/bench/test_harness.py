@@ -1,0 +1,130 @@
+"""Unit tests for the benchmark harness and reporting helpers."""
+
+from repro.bench.harness import (
+    ENGINE_FACTORIES,
+    RunResult,
+    format_table,
+    measure,
+    run_engine,
+)
+from repro.bench.reporting import (
+    markdown_table,
+    results_matrix,
+    speedup_summary,
+)
+from repro.core.engine import MaterializationTimeout
+from repro.datasets.chains import subclass_chain
+
+
+class TestRunResult:
+    def test_cell_formats_ms(self):
+        result = RunResult("e", "d", "r", seconds=1.2345)
+        assert result.cell() == "1,234"
+
+    def test_cell_timeout_dash(self):
+        result = RunResult("e", "d", "r", seconds=None)
+        assert result.cell() == "–"
+        assert result.milliseconds is None
+        assert result.throughput is None
+
+    def test_throughput(self):
+        result = RunResult("e", "d", "r", seconds=2.0, n_inferred=100)
+        assert result.throughput == 50.0
+
+
+class TestMeasure:
+    def test_mean_of_runs(self):
+        calls = []
+
+        def once():
+            calls.append(1)
+            return {"x": 1}
+
+        mean, info, runs = measure(once, warmup=1, runs=3)
+        assert len(calls) == 4
+        assert info == {"x": 1}
+        assert len(runs) == 3
+        assert mean is not None
+
+    def test_timeout_yields_none(self):
+        def once():
+            raise MaterializationTimeout("boom")
+
+        mean, _, runs = measure(once)
+        assert mean is None
+        assert runs == []
+
+
+class TestRunEngine:
+    def test_all_engines_registered(self):
+        assert set(ENGINE_FACTORIES) == {
+            "inferray",
+            "hashjoin",
+            "rete",
+            "naive",
+        }
+
+    def test_inferray_run(self):
+        result = run_engine(
+            "inferray",
+            "rdfs-default",
+            subclass_chain(20),
+            dataset_name="chain20",
+            warmup=0,
+            runs=1,
+        )
+        assert result.seconds is not None
+        assert result.n_inferred == 20 * 19 // 2 - 19
+        assert result.dataset == "chain20"
+
+    def test_baseline_run(self):
+        result = run_engine(
+            "hashjoin", "rdfs-default", subclass_chain(10), warmup=0, runs=1
+        )
+        assert result.seconds is not None
+        assert result.n_total == 10 * 9 // 2
+
+    def test_timeout_marks_dash(self):
+        result = run_engine(
+            "naive",
+            "rdfs-default",
+            subclass_chain(60),
+            timeout_seconds=-1.0,
+            warmup=0,
+            runs=1,
+        )
+        assert result.seconds is None
+        assert result.cell() == "–"
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["name", "ms"], [["a", "1"], ["longer", "22"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_results_matrix_pivots(self):
+        results = [
+            RunResult("inferray", "d1", "r", 0.5),
+            RunResult("rete", "d1", "r", None),
+        ]
+        text = results_matrix(results)
+        assert "500" in text
+        assert "–" in text
+
+    def test_speedup_summary(self):
+        results = [
+            RunResult("inferray", "d", "r", 1.0),
+            RunResult("rete", "d", "r", 10.0),
+            RunResult("naive", "d", "r", None),
+        ]
+        lines = speedup_summary(results)
+        assert any("10.0x" in line for line in lines)
+        assert any("timed out" in line for line in lines)
+
+    def test_markdown_table(self):
+        text = markdown_table(["a", "b"], [["1", "2"]])
+        assert text.splitlines()[1] == "|---|---|"

@@ -1,0 +1,81 @@
+"""Unit tests for the component split and symmetric closures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.components import (
+    closed_pairs,
+    connected_component_edges,
+    symmetric_transitive_closure_pairs,
+)
+from repro.closure.nuutila import transitive_closure
+
+
+def as_pairs(flat):
+    return set(zip(flat[0::2], flat[1::2]))
+
+
+class TestComponentSplit:
+    def test_single_component(self):
+        groups = connected_component_edges([(1, 2), (2, 3)])
+        assert len(groups) == 1
+
+    def test_two_components(self):
+        groups = connected_component_edges([(1, 2), (10, 11), (11, 12)])
+        assert sorted(len(g) for g in groups) == [1, 2]
+
+    def test_weakly_connected_merges_directions(self):
+        # 1->2 and 3->2 are weakly connected through 2.
+        groups = connected_component_edges([(1, 2), (3, 2)])
+        assert len(groups) == 1
+
+    def test_empty(self):
+        assert connected_component_edges([]) == []
+
+
+class TestClosedPairs:
+    def test_empty(self):
+        assert len(closed_pairs([])) == 0
+
+    def test_split_equals_no_split(self):
+        edges = [(1, 2), (2, 3), (10, 11), (11, 10), (20, 21)]
+        with_split = as_pairs(closed_pairs(edges, split_components=True))
+        without = as_pairs(closed_pairs(edges, split_components=False))
+        assert with_split == without
+
+    def test_matches_nuutila(self):
+        edges = [(1, 2), (2, 3), (3, 1), (5, 6)]
+        assert as_pairs(closed_pairs(edges)) == transitive_closure(edges)
+
+
+class TestSymmetricClosure:
+    def test_pair_becomes_clique(self):
+        flat = symmetric_transitive_closure_pairs([(1, 2)])
+        assert as_pairs(flat) == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_chain_becomes_full_clique(self):
+        flat = symmetric_transitive_closure_pairs([(1, 2), (2, 3), (3, 4)])
+        nodes = {1, 2, 3, 4}
+        assert as_pairs(flat) == {(a, b) for a in nodes for b in nodes}
+
+    def test_two_islands(self):
+        flat = symmetric_transitive_closure_pairs([(1, 2), (10, 11)])
+        pairs = as_pairs(flat)
+        assert (1, 10) not in pairs
+        assert (10, 11) in pairs and (11, 10) in pairs
+
+    def test_empty(self):
+        assert len(symmetric_transitive_closure_pairs([])) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=30
+    ),
+    st.booleans(),
+)
+def test_split_invariance_property(edges, split):
+    """Component splitting never changes the closure."""
+    reference = transitive_closure(edges)
+    assert as_pairs(closed_pairs(edges, split_components=split)) == reference

@@ -1,0 +1,129 @@
+"""Unit and property tests for IntervalSet."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.intervals import IntervalSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = IntervalSet()
+        assert not s
+        assert len(s) == 0
+        assert s.n_intervals == 0
+
+    def test_single(self):
+        s = IntervalSet.single(3, 7)
+        assert s.intervals() == [(3, 7)]
+        assert len(s) == 5
+
+    def test_single_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet.single(5, 4)
+
+    def test_from_values_coalesces(self):
+        s = IntervalSet.from_values([5, 1, 2, 3, 9])
+        assert s.intervals() == [(1, 3), (5, 5), (9, 9)]
+
+    def test_constructor_intervals(self):
+        s = IntervalSet([(1, 2), (4, 6)])
+        assert s.intervals() == [(1, 2), (4, 6)]
+
+
+class TestMutation:
+    def test_add_value(self):
+        s = IntervalSet()
+        s.add(5)
+        assert 5 in s
+
+    def test_adjacent_values_coalesce(self):
+        s = IntervalSet()
+        s.add(1)
+        s.add(2)
+        s.add(3)
+        assert s.n_intervals == 1
+        assert s.intervals() == [(1, 3)]
+
+    def test_overlapping_intervals_coalesce(self):
+        s = IntervalSet([(1, 5)])
+        s.add_interval(3, 9)
+        assert s.intervals() == [(1, 9)]
+
+    def test_disjoint_intervals_stay_apart(self):
+        s = IntervalSet([(1, 2)])
+        s.add_interval(10, 12)
+        assert s.n_intervals == 2
+
+    def test_union_update(self):
+        a = IntervalSet([(1, 3), (10, 12)])
+        b = IntervalSet([(4, 5), (11, 20)])
+        a.union_update(b)
+        assert a.intervals() == [(1, 5), (10, 20)]
+
+    def test_union_with_empty(self):
+        a = IntervalSet([(1, 2)])
+        a.union_update(IntervalSet())
+        assert a.intervals() == [(1, 2)]
+        b = IntervalSet()
+        b.union_update(a)
+        assert b.intervals() == [(1, 2)]
+        # and the copy is independent
+        b.add(100)
+        assert 100 not in a
+
+
+class TestQueries:
+    def test_contains_binary_search(self):
+        s = IntervalSet([(1, 3), (7, 9), (20, 25)])
+        for v in (1, 2, 3, 7, 9, 22):
+            assert v in s
+        for v in (0, 4, 6, 10, 19, 26):
+            assert v not in s
+
+    def test_iter_ascending(self):
+        s = IntervalSet([(5, 6), (1, 2)])
+        assert list(s) == [1, 2, 5, 6]
+
+    def test_len_cardinality(self):
+        s = IntervalSet([(1, 3), (10, 10)])
+        assert len(s) == 4
+
+    def test_equality(self):
+        assert IntervalSet([(1, 2)]) == IntervalSet([(1, 2)])
+        assert IntervalSet([(1, 2)]) != IntervalSet([(1, 3)])
+
+    def test_copy_independent(self):
+        a = IntervalSet([(1, 2)])
+        b = a.copy()
+        b.add(50)
+        assert 50 not in a
+
+    def test_repr(self):
+        assert "1, 2" in repr(IntervalSet([(1, 2)]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), max_size=80),
+    st.lists(st.integers(0, 200), max_size=80),
+)
+def test_union_matches_set_semantics(values_a, values_b):
+    a = IntervalSet.from_values(values_a)
+    b = IntervalSet.from_values(values_b)
+    a.union_update(b)
+    assert list(a) == sorted(set(values_a) | set(values_b))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 300), st.integers(0, 30))))
+def test_interval_invariants(spans):
+    """Intervals stay sorted, disjoint and non-adjacent after any adds."""
+    s = IntervalSet()
+    for start, width in spans:
+        s.add_interval(start, start + width)
+    intervals = s.intervals()
+    for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+        assert hi1 + 1 < lo2  # disjoint and non-adjacent
+        assert lo1 <= hi1 and lo2 <= hi2

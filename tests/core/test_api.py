@@ -1,0 +1,79 @@
+"""Unit tests for the high-level API (infer, InferredModel, loaders)."""
+
+from repro.core.api import (
+    InferredModel,
+    infer,
+    infer_with_stats,
+    load_and_materialize,
+)
+from repro.rdf.ntriples import write_file
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import RDF, RDFS
+
+
+def ex(name):
+    return IRI(f"ex:{name}")
+
+
+DATA = [
+    Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+    Triple(ex("Bart"), RDF.type, ex("human")),
+]
+
+
+class TestInfer:
+    def test_returns_closed_graph(self):
+        g = infer(DATA)
+        assert Triple(ex("Bart"), RDF.type, ex("mammal")) in g
+        assert len(g) == 3
+
+    def test_ruleset_selection(self):
+        g = infer(DATA, ruleset="rho-df")
+        assert Triple(ex("Bart"), RDF.type, ex("mammal")) in g
+
+    def test_with_stats(self):
+        g, stats = infer_with_stats(DATA)
+        assert stats.n_inferred == 1
+        assert len(g) == stats.n_total
+
+    def test_empty(self):
+        assert len(infer([])) == 0
+
+
+class TestLoadAndMaterialize:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "d.nt")
+        write_file(
+            [
+                Triple(IRI("http://h"), RDFS.subClassOf, IRI("http://m")),
+                Triple(IRI("http://b"), RDF.type, IRI("http://h")),
+            ],
+            path,
+        )
+        engine = load_and_materialize(path)
+        assert engine.contains(
+            Triple(IRI("http://b"), RDF.type, IRI("http://m"))
+        )
+
+
+class TestInferredModel:
+    def test_len_and_contains(self):
+        model = InferredModel(DATA)
+        assert len(model) == 3
+        assert Triple(ex("Bart"), RDF.type, ex("mammal")) in model
+
+    def test_asserted_preserved(self):
+        model = InferredModel(DATA)
+        assert set(model.asserted) == set(DATA)
+
+    def test_list_statements(self):
+        model = InferredModel(DATA)
+        statements = list(model.list_statements(ex("Bart"), RDF.type, None))
+        assert len(statements) == 2
+
+    def test_deductions_excludes_asserted(self):
+        model = InferredModel(DATA)
+        deductions = model.deductions()
+        assert Triple(ex("Bart"), RDF.type, ex("mammal")) in deductions
+        assert Triple(ex("Bart"), RDF.type, ex("human")) not in deductions
+        assert len(deductions) == 1

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.rdf.ntriples import parse_file, write_file
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import RDF, RDFS
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = str(tmp_path / "in.nt")
+    write_file(
+        [
+            Triple(IRI("http://ex/h"), RDFS.subClassOf, IRI("http://ex/m")),
+            Triple(IRI("http://ex/b"), RDF.type, IRI("http://ex/h")),
+        ],
+        path,
+    )
+    return path
+
+
+class TestInferCommand:
+    def test_stdout_closure(self, sample_file, capsys):
+        assert main(["infer", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count(" .") == 3
+        assert "<http://ex/b>" in out
+
+    def test_output_file(self, sample_file, tmp_path, capsys):
+        out_path = str(tmp_path / "out.nt")
+        assert main(["infer", sample_file, "-o", out_path]) == 0
+        triples = list(parse_file(out_path))
+        assert len(triples) == 3
+
+    def test_inferred_only(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--inferred-only"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert "<http://ex/m>" in out[0]
+
+    def test_ruleset_flag(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--ruleset", "rdfs-full"]) == 0
+        out = capsys.readouterr().out
+        assert "Resource" in out  # RDFS4 fired
+
+    def test_forced_algorithm(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--algorithm", "counting"]) == 0
+        assert capsys.readouterr().out.count(" .") == 3
+
+    def test_bad_ruleset_rejected(self, sample_file):
+        with pytest.raises(SystemExit):
+            main(["infer", sample_file, "--ruleset", "owl-dl"])
+
+
+class TestStatsCommand:
+    def test_prints_stats(self, sample_file, capsys):
+        assert main(["stats", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "input triples:     2" in out
+        assert "inferred triples:  1" in out
+        assert "CAX-SCO" in out
+
+
+class TestRulesCommand:
+    def test_lists_rules(self, capsys):
+        assert main(["rules", "--ruleset", "rho-df"]) == 0
+        out = capsys.readouterr().out
+        assert "rho-df: 8 rules" in out
+        assert "CAX-SCO" in out
+        assert "class=theta" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

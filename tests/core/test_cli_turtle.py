@@ -1,0 +1,28 @@
+"""CLI loading of Turtle inputs (extension dispatch)."""
+
+from repro.cli import main
+
+
+def test_infer_turtle_file(tmp_path, capsys):
+    path = tmp_path / "schema.ttl"
+    path.write_text(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+        "@prefix ex: <http://ex/> .\n"
+        "ex:Cat rdfs:subClassOf ex:Animal .\n"
+        "ex:tom a ex:Cat .\n",
+        encoding="utf-8",
+    )
+    assert main(["infer", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert out.count(" .") == 3
+    assert "<http://ex/Animal>" in out
+
+
+def test_stats_turtle_file(tmp_path, capsys):
+    path = tmp_path / "schema.turtle"
+    path.write_text(
+        "@prefix ex: <http://ex/> .\nex:a ex:p ex:b .\n",
+        encoding="utf-8",
+    )
+    assert main(["stats", str(path)]) == 0
+    assert "input triples:     1" in capsys.readouterr().out

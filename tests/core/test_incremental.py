@@ -1,0 +1,119 @@
+"""Tests for incremental materialization (extension feature)."""
+
+import pytest
+
+from repro.core.engine import InferrayEngine
+from repro.datasets.chains import subclass_chain
+from repro.datasets.lubm import lubm_like
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import OWL, RDF, RDFS
+
+
+def ex(name):
+    return IRI(f"ex:{name}")
+
+
+def batch_closure(ruleset, *batches):
+    engine = InferrayEngine(ruleset)
+    for batch in batches:
+        engine.load_triples(batch)
+    engine.materialize()
+    return set(engine.triples())
+
+
+class TestIncrementalEquivalence:
+    def test_simple_addition(self):
+        base = [
+            Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+            Triple(ex("Bart"), RDF.type, ex("human")),
+        ]
+        extra = [Triple(ex("mammal"), RDFS.subClassOf, ex("animal"))]
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(base)
+        engine.materialize()
+        stats = engine.materialize_incremental(extra)
+        assert stats.n_inferred >= 2  # the edge + propagated types
+        assert set(engine.triples()) == batch_closure(
+            "rdfs-default", base, extra
+        )
+
+    def test_theta_delta_reclosure(self):
+        # New subclass edge must re-close the hierarchy.
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(subclass_chain(20))
+        engine.materialize()
+        bridge = [
+            Triple(
+                IRI("http://example.org/chain/n19"),
+                RDFS.subClassOf,
+                IRI("http://example.org/other"),
+            )
+        ]
+        engine.materialize_incremental(bridge)
+        assert set(engine.triples()) == batch_closure(
+            "rdfs-default", subclass_chain(20), bridge
+        )
+        # Every chain node now reaches the new class.
+        assert engine.contains(
+            Triple(
+                IRI("http://example.org/chain/n0"),
+                RDFS.subClassOf,
+                IRI("http://example.org/other"),
+            )
+        )
+
+    def test_rdfs_plus_sameas_addition(self):
+        base = [
+            Triple(ex("a"), ex("p"), ex("v")),
+            Triple(ex("b"), ex("q"), ex("w")),
+        ]
+        extra = [Triple(ex("a"), OWL.sameAs, ex("b"))]
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(base)
+        engine.materialize()
+        engine.materialize_incremental(extra)
+        assert set(engine.triples()) == batch_closure(
+            "rdfs-plus", base, extra
+        )
+        assert engine.contains(Triple(ex("b"), ex("p"), ex("v")))
+
+    def test_generated_workload_equivalence(self):
+        base = lubm_like(2)
+        extra = lubm_like(1, seed=99)
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(base)
+        engine.materialize()
+        engine.materialize_incremental(extra)
+        assert set(engine.triples()) == batch_closure(
+            "rdfs-plus", base, extra
+        )
+
+    def test_duplicate_addition_is_noop(self):
+        base = subclass_chain(10)
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(base)
+        engine.materialize()
+        before = engine.n_triples
+        stats = engine.materialize_incremental(base)
+        assert stats.n_inferred == 0
+        assert engine.n_triples == before
+
+    def test_new_transitive_marker_incrementally(self):
+        base = [
+            Triple(ex("a"), ex("p"), ex("b")),
+            Triple(ex("b"), ex("p"), ex("c")),
+        ]
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(base)
+        engine.materialize()
+        assert not engine.contains(Triple(ex("a"), ex("p"), ex("c")))
+        engine.materialize_incremental(
+            [Triple(ex("p"), RDF.type, OWL.TransitiveProperty)]
+        )
+        assert engine.contains(Triple(ex("a"), ex("p"), ex("c")))
+
+    def test_requires_prior_materialization(self):
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(subclass_chain(5))
+        with pytest.raises(RuntimeError):
+            engine.materialize_incremental([])

@@ -1,0 +1,88 @@
+"""Unit tests for chain/tree generators and the closure-size formulas."""
+
+import pytest
+
+from repro.core.engine import InferrayEngine
+from repro.datasets.chains import (
+    chain_closure_size,
+    chain_inferred_size,
+    sameas_chain,
+    subclass_chain,
+    subclass_star,
+    subclass_tree,
+    subproperty_chain,
+    transitive_property_chain,
+)
+from repro.rdf.vocabulary import OWL, RDFS
+
+
+class TestGenerators:
+    def test_chain_edge_count(self):
+        assert len(subclass_chain(10)) == 9
+
+    def test_chain_predicate(self):
+        assert all(
+            t.predicate == RDFS.subClassOf for t in subclass_chain(5)
+        )
+
+    def test_subproperty_chain(self):
+        assert all(
+            t.predicate == RDFS.subPropertyOf for t in subproperty_chain(5)
+        )
+
+    def test_transitive_chain_has_marker(self):
+        triples = transitive_property_chain(5)
+        assert triples[0].object == OWL.TransitiveProperty
+        assert len(triples) == 5  # marker + 4 edges
+
+    def test_sameas_chain(self):
+        assert all(t.predicate == OWL.sameAs for t in sameas_chain(4))
+
+    def test_star(self):
+        triples = subclass_star(7)
+        assert len(triples) == 7
+        assert len({t.object for t in triples}) == 1
+
+    def test_tree_edge_count(self):
+        # depth 3, branching 2: 15 nodes, 14 edges.
+        assert len(subclass_tree(3, 2)) == 14
+
+    def test_too_short_rejected(self):
+        for generator in (
+            subclass_chain,
+            subproperty_chain,
+            transitive_property_chain,
+            sameas_chain,
+        ):
+            with pytest.raises(ValueError):
+                generator(1)
+        with pytest.raises(ValueError):
+            subclass_tree(0)
+
+    def test_prefix_isolation(self):
+        a = subclass_chain(5, prefix="one")
+        b = subclass_chain(5, prefix="two")
+        assert not {t.subject for t in a} & {t.subject for t in b}
+
+
+class TestClosureFormulas:
+    @pytest.mark.parametrize("n", [2, 3, 10, 100])
+    def test_formulas(self, n):
+        assert chain_closure_size(n) == n * (n - 1) // 2
+        assert chain_inferred_size(n) == chain_closure_size(n) - (n - 1)
+
+    @pytest.mark.parametrize("n", [5, 25, 80])
+    def test_engine_matches_formula(self, n):
+        """The paper's claim: an n-chain closes to exactly n(n−1)/2."""
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(subclass_chain(n))
+        stats = engine.materialize()
+        assert stats.n_total == chain_closure_size(n)
+        assert stats.n_inferred == chain_inferred_size(n)
+
+    def test_sameas_chain_closes_to_clique(self):
+        n = 6
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(sameas_chain(n))
+        stats = engine.materialize()
+        assert stats.n_total == n * n

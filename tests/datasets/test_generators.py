@@ -1,0 +1,99 @@
+"""Unit tests for the LUBM/BSBM/real-world workload generators."""
+
+import pytest
+
+from repro.datasets.bsbm import bsbm_like
+from repro.datasets.lubm import lubm_like, lubm_ontology
+from repro.datasets.realworld import wikipedia_like, wordnet_like, yago_like
+from repro.rdf.terms import Triple
+from repro.rdf.vocabulary import OWL, RDF, RDFS
+
+GENERATORS = [
+    ("lubm", lubm_like),
+    ("bsbm", bsbm_like),
+    ("yago", yago_like),
+    ("wikipedia", wikipedia_like),
+    ("wordnet", wordnet_like),
+]
+
+
+@pytest.mark.parametrize("name,generator", GENERATORS)
+class TestCommonProperties:
+    def test_deterministic(self, name, generator):
+        assert generator(3) == generator(3)
+
+    def test_seed_changes_output(self, name, generator):
+        assert generator(3, seed=1) != generator(3, seed=2)
+
+    def test_scale_grows_output(self, name, generator):
+        assert len(generator(6)) > len(generator(2))
+
+    def test_all_triples_valid(self, name, generator):
+        for triple in generator(2):
+            assert isinstance(triple, Triple)
+
+    def test_bad_scale_rejected(self, name, generator):
+        with pytest.raises(ValueError):
+            generator(0)
+
+
+class TestLubmShape:
+    def test_ontology_has_rdfs_plus_features(self):
+        ontology = lubm_ontology()
+        predicates = {t.predicate for t in ontology}
+        assert RDFS.subClassOf in predicates
+        assert RDFS.subPropertyOf in predicates
+        assert RDFS.domain in predicates and RDFS.range in predicates
+        assert OWL.inverseOf in predicates
+        markers = {t.object for t in ontology if t.predicate == RDF.type}
+        assert OWL.TransitiveProperty in markers
+        assert OWL.InverseFunctionalProperty in markers
+
+    def test_instance_scale(self):
+        data = lubm_like(10)
+        # ≈210 triples per department, within a loose band.
+        assert 1200 <= len(data) <= 3500
+
+    def test_contains_suborganization_chains(self):
+        data = lubm_like(3)
+        sub_org = [
+            t for t in data
+            if t.predicate.value.endswith("subOrganizationOf")
+        ]
+        assert len(sub_org) >= 6  # dept→univ and group→dept per dept
+
+
+class TestBsbmShape:
+    def test_has_product_type_tree(self):
+        data = bsbm_like(200)
+        sco = [t for t in data if t.predicate == RDFS.subClassOf]
+        assert len(sco) >= 8
+
+    def test_no_owl_constructs(self):
+        # BSBM drives the RDFS flavours only.
+        data = bsbm_like(100)
+        assert not any(
+            t.predicate in (OWL.sameAs, OWL.inverseOf) for t in data
+        )
+
+
+class TestRealWorldShapes:
+    def test_yago_schema_heavy(self):
+        data = yago_like(2)
+        schema = [
+            t for t in data
+            if t.predicate in (RDFS.subClassOf, RDFS.subPropertyOf)
+        ]
+        assert len(schema) > len(data) * 0.4
+
+    def test_wikipedia_type_heavy(self):
+        data = wikipedia_like(2)
+        types = [t for t in data if t.predicate == RDF.type]
+        assert len(types) > len(data) * 0.4
+
+    def test_wordnet_has_transitive_relation(self):
+        data = wordnet_like(2)
+        assert any(
+            t.predicate == RDF.type and t.object == OWL.TransitiveProperty
+            for t in data
+        )

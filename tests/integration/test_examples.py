@@ -1,0 +1,37 @@
+"""The shipped examples must run clean end to end (their asserts fire)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "dataset_integration.py",
+    "engine_comparison.py",
+    "taxonomy_reasoning.py",
+    "query_and_update.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_transitive_scaling_trimmed(capsys):
+    """Run the scaling example's main over reduced chain lengths."""
+    namespace = runpy.run_path(
+        str(EXAMPLES_DIR / "transitive_scaling.py"), run_name="as_module"
+    )
+    namespace["LENGTHS"][:] = [40, 80]  # functions close over this list
+    namespace["main"]()
+    out = capsys.readouterr().out
+    assert "nuutila" in out
+    assert "80" in out

@@ -1,0 +1,126 @@
+"""Unit tests for the BGP query layer."""
+
+import pytest
+
+from repro.core.engine import InferrayEngine
+from repro.query.bgp import Query, TriplePattern, Var, parse_pattern
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import RDF, RDFS
+
+
+def ex(name):
+    return IRI(f"ex:{name}")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    e = InferrayEngine("rdfs-default")
+    e.load_triples(
+        [
+            Triple(ex("prof"), RDFS.subClassOf, ex("person")),
+            Triple(ex("student"), RDFS.subClassOf, ex("person")),
+            Triple(ex("alice"), RDF.type, ex("prof")),
+            Triple(ex("bob"), RDF.type, ex("student")),
+            Triple(ex("carol"), RDF.type, ex("student")),
+            Triple(ex("bob"), ex("advisor"), ex("alice")),
+            Triple(ex("carol"), ex("advisor"), ex("alice")),
+        ]
+    )
+    e.materialize()
+    return e
+
+
+class TestParsePattern:
+    def test_question_mark_becomes_var(self):
+        pattern = parse_pattern("?s", "ex:p", "?o")
+        assert pattern.subject == Var("s")
+        assert pattern.predicate == IRI("ex:p")
+        assert pattern.object == Var("o")
+
+    def test_terms_pass_through(self):
+        pattern = parse_pattern(ex("a"), RDF.type, Var("t"))
+        assert pattern.subject == ex("a")
+        assert pattern.object == Var("t")
+
+    def test_variables_list(self):
+        pattern = parse_pattern("?a", "?p", "ex:x")
+        assert pattern.variables() == [Var("a"), Var("p")]
+
+
+class TestSinglePattern:
+    def test_type_query(self, engine):
+        query = Query.parse(("?x", RDF.type, ex("student")))
+        rows = query.select(engine, "x")
+        assert set(rows) == {(ex("bob"),), (ex("carol"),)}
+
+    def test_inferred_triples_visible(self, engine):
+        query = Query.parse(("?x", RDF.type, ex("person")))
+        rows = {row[0] for row in query.select(engine, "x")}
+        assert rows == {ex("alice"), ex("bob"), ex("carol")}
+
+    def test_variable_predicate(self, engine):
+        query = Query.parse((ex("bob"), "?p", "?o"))
+        predicates = {row[0] for row in query.select(engine, "p")}
+        assert RDF.type in predicates
+        assert ex("advisor") in predicates
+
+    def test_fully_ground_ask(self, engine):
+        assert Query.parse((ex("bob"), RDF.type, ex("person"))).ask(engine)
+        assert not Query.parse(
+            (ex("alice"), RDF.type, ex("student"))
+        ).ask(engine)
+
+
+class TestJoins:
+    def test_two_pattern_join(self, engine):
+        # Students advised by a professor.
+        query = Query.parse(
+            ("?s", ex("advisor"), "?a"),
+            ("?a", RDF.type, ex("prof")),
+        )
+        rows = query.select(engine, "s")
+        assert set(rows) == {(ex("bob"),), (ex("carol"),)}
+
+    def test_join_respects_shared_variable(self, engine):
+        # Self-advised people: none.
+        query = Query.parse(("?x", ex("advisor"), "?x"))
+        assert query.select(engine, "x") == []
+
+    def test_three_pattern_join(self, engine):
+        query = Query.parse(
+            ("?s", RDF.type, ex("student")),
+            ("?s", ex("advisor"), "?a"),
+            ("?a", RDF.type, "?at"),
+        )
+        rows = query.select(engine, "s", "a", "at")
+        assert (ex("bob"), ex("alice"), ex("prof")) in rows
+        assert (ex("bob"), ex("alice"), ex("person")) in rows
+
+    def test_projection_dedup(self, engine):
+        query = Query.parse(
+            ("?s", ex("advisor"), "?a"),
+        )
+        assert query.select(engine, "a") == [(ex("alice"),)]
+
+    def test_no_solutions(self, engine):
+        query = Query.parse(
+            ("?x", RDF.type, ex("prof")),
+            ("?x", ex("advisor"), "?y"),
+        )
+        assert query.select(engine, "x") == []
+
+    def test_execute_yields_bindings(self, engine):
+        query = Query.parse(("?x", RDF.type, ex("prof")))
+        solutions = list(query.execute(engine))
+        assert solutions == [{Var("x"): ex("alice")}]
+
+
+class TestValidation:
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            Query([])
+
+    def test_pattern_selectivity(self):
+        pattern = TriplePattern(Var("s"), RDF.type, ex("c"))
+        assert pattern.selectivity({}) == 2
+        assert pattern.selectivity({Var("s"): ex("a")}) == 3

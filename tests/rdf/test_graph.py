@@ -1,0 +1,97 @@
+"""Unit tests for the decoded-triple Graph container."""
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal, Triple
+
+
+def t(s, p, o):
+    return Triple(IRI(s), IRI(p), IRI(o))
+
+
+class TestGraphBasics:
+    def test_add_and_contains(self):
+        g = Graph()
+        assert g.add(t("a", "p", "b"))
+        assert t("a", "p", "b") in g
+        assert len(g) == 1
+
+    def test_add_duplicate_returns_false(self):
+        g = Graph([t("a", "p", "b")])
+        assert not g.add(t("a", "p", "b"))
+        assert len(g) == 1
+
+    def test_update_counts_new(self):
+        g = Graph([t("a", "p", "b")])
+        added = g.update([t("a", "p", "b"), t("a", "p", "c")])
+        assert added == 1
+        assert len(g) == 2
+
+    def test_discard(self):
+        g = Graph([t("a", "p", "b")])
+        assert g.discard(t("a", "p", "b"))
+        assert not g.discard(t("a", "p", "b"))
+        assert len(g) == 0
+
+    def test_discard_updates_indexes(self):
+        g = Graph([t("a", "p", "b")])
+        g.discard(t("a", "p", "b"))
+        assert list(g.triples(subject=IRI("a"))) == []
+
+    def test_iteration(self):
+        triples = {t("a", "p", "b"), t("c", "p", "d")}
+        g = Graph(triples)
+        assert set(g) == triples
+
+    def test_equality_with_graph_and_set(self):
+        g1 = Graph([t("a", "p", "b")])
+        g2 = Graph([t("a", "p", "b")])
+        assert g1 == g2
+        assert g1 == {t("a", "p", "b")}
+
+    def test_copy_is_independent(self):
+        g1 = Graph([t("a", "p", "b")])
+        g2 = g1.copy()
+        g2.add(t("x", "p", "y"))
+        assert len(g1) == 1
+        assert len(g2) == 2
+
+
+class TestGraphPatterns:
+    def setup_method(self):
+        self.g = Graph(
+            [
+                t("a", "p", "b"),
+                t("a", "q", "c"),
+                t("d", "p", "b"),
+                Triple(IRI("a"), IRI("p"), Literal("lit")),
+            ]
+        )
+
+    def test_subject_pattern(self):
+        assert len(list(self.g.triples(subject=IRI("a")))) == 3
+
+    def test_predicate_pattern(self):
+        assert len(list(self.g.triples(predicate=IRI("p")))) == 3
+
+    def test_object_pattern(self):
+        assert len(list(self.g.triples(obj=IRI("b")))) == 2
+
+    def test_combined_pattern(self):
+        matches = list(self.g.triples(subject=IRI("a"), predicate=IRI("p")))
+        assert len(matches) == 2
+
+    def test_fully_bound_pattern(self):
+        matches = list(
+            self.g.triples(IRI("a"), IRI("p"), IRI("b"))
+        )
+        assert matches == [t("a", "p", "b")]
+
+    def test_no_match(self):
+        assert list(self.g.triples(subject=IRI("zzz"))) == []
+
+    def test_subjects_helper(self):
+        assert set(self.g.subjects(IRI("p"), IRI("b"))) == {IRI("a"), IRI("d")}
+
+    def test_objects_helper(self):
+        objects = set(self.g.objects(IRI("a"), IRI("p")))
+        assert objects == {IRI("b"), Literal("lit")}

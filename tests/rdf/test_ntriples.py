@@ -1,0 +1,170 @@
+"""Unit and property-based tests for the N-Triples parser/serializer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.ntriples import (
+    NTriplesError,
+    parse,
+    parse_file,
+    parse_line,
+    serialize,
+    write_file,
+)
+from repro.rdf.terms import BlankNode, IRI, Literal, Triple
+
+
+class TestParseBasics:
+    def test_simple_triple(self):
+        t = parse_line("<http://a> <http://p> <http://b> .")
+        assert t == Triple(IRI("http://a"), IRI("http://p"), IRI("http://b"))
+
+    def test_blank_line_returns_none(self):
+        assert parse_line("   \n") is None
+
+    def test_comment_returns_none(self):
+        assert parse_line("# a comment") is None
+
+    def test_trailing_comment_allowed(self):
+        t = parse_line("<a> <p> <b> . # trailing")
+        assert t.object == IRI("b")
+
+    def test_bnode_subject_and_object(self):
+        t = parse_line("_:x <http://p> _:y .")
+        assert t.subject == BlankNode("x")
+        assert t.object == BlankNode("y")
+
+    def test_plain_literal(self):
+        t = parse_line('<a> <p> "hello" .')
+        assert t.object == Literal("hello")
+
+    def test_language_literal(self):
+        t = parse_line('<a> <p> "bonjour"@fr .')
+        assert t.object == Literal("bonjour", language="fr")
+
+    def test_subtagged_language(self):
+        t = parse_line('<a> <p> "hi"@en-GB .')
+        assert t.object == Literal("hi", language="en-GB")
+
+    def test_datatyped_literal(self):
+        t = parse_line('<a> <p> "5"^^<http://dt> .')
+        assert t.object == Literal("5", datatype="http://dt")
+
+    def test_escaped_quote_in_literal(self):
+        t = parse_line('<a> <p> "say \\"hi\\"" .')
+        assert t.object == Literal('say "hi"')
+
+    def test_escaped_backslash_before_quote(self):
+        t = parse_line('<a> <p> "back\\\\" .')
+        assert t.object == Literal("back\\")
+
+    def test_newline_tab_escapes(self):
+        t = parse_line('<a> <p> "l1\\nl2\\t!" .')
+        assert t.object == Literal("l1\nl2\t!")
+
+    def test_unicode_escapes(self):
+        t = parse_line('<a> <p> "\\u00e9\\U0001F600" .')
+        assert t.object == Literal("é😀")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<a> <p> <b>",  # missing dot
+            "<a> <p> .",  # missing object
+            '"lit" <p> <b> .',  # literal subject
+            "<a> _:p <b> .",  # bnode predicate
+            "<a> <p> <b> . extra",  # trailing garbage
+            "<a <p> <b> .",  # unterminated IRI
+            '<a> <p> "open .',  # unterminated literal
+            '<a> <p> "x"@ .',  # empty language
+            '<a> <p> "x"^^dt .',  # non-IRI datatype
+        ],
+    )
+    def test_malformed(self, line):
+        with pytest.raises(NTriplesError):
+            parse_line(line)
+
+    def test_error_carries_line_number(self):
+        doc = "<a> <p> <b> .\nbroken line\n"
+        with pytest.raises(NTriplesError) as excinfo:
+            list(parse(doc))
+        assert excinfo.value.line_no == 2
+
+
+class TestDocuments:
+    def test_multi_line_document(self):
+        doc = """
+        # header comment
+        <http://a> <http://p> <http://b> .
+        <http://a> <http://p> "lit"@en .
+        """
+        triples = list(parse(doc))
+        assert len(triples) == 2
+
+    def test_serialize_roundtrip(self):
+        triples = [
+            Triple(IRI("http://a"), IRI("http://p"), IRI("http://b")),
+            Triple(BlankNode("n0"), IRI("http://p"), Literal("x\ny")),
+            Triple(IRI("http://a"), IRI("http://q"),
+                   Literal("v", language="en")),
+            Triple(IRI("http://a"), IRI("http://q"),
+                   Literal("5", datatype="http://dt")),
+        ]
+        assert list(parse(serialize(triples))) == triples
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "data.nt")
+        triples = [
+            Triple(IRI("http://a"), IRI("http://p"), IRI("http://b")),
+            Triple(IRI("http://c"), IRI("http://p"), Literal("lit")),
+        ]
+        count = write_file(triples, path)
+        assert count == 2
+        assert list(parse_file(path)) == triples
+
+
+_iri_strategy = st.builds(
+    IRI,
+    st.text(
+        alphabet=st.characters(
+            blacklist_characters="<>\"{}|^`\\\x00\n\r\t ",
+            min_codepoint=33,
+            max_codepoint=126,
+        ),
+        min_size=1,
+        max_size=30,
+    ).map(lambda s: "http://x/" + s),
+)
+
+_literal_strategy = st.builds(
+    Literal,
+    st.text(max_size=40),
+    st.one_of(st.none(), st.just("http://dt/a")),
+    st.one_of(st.none(), st.just("en"), st.just("en-GB")),
+).filter(lambda lit: not (lit.datatype and lit.language))
+
+_bnode_strategy = st.builds(
+    BlankNode,
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+            min_size=1, max_size=10),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            Triple,
+            st.one_of(_iri_strategy, _bnode_strategy),
+            _iri_strategy,
+            st.one_of(_iri_strategy, _bnode_strategy, _literal_strategy),
+        ),
+        max_size=10,
+    )
+)
+def test_roundtrip_property(triples):
+    """serialize → parse is the identity for arbitrary term content."""
+    assert list(parse(serialize(triples))) == triples

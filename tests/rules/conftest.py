@@ -1,0 +1,33 @@
+"""Shared helpers for rule-level tests."""
+
+import pytest
+
+from repro.core.engine import InferrayEngine
+from repro.rdf.terms import IRI, Triple
+
+
+@pytest.fixture
+def run_rules():
+    """Materialize ``triples`` under an explicit rule list; returns a set."""
+
+    def _run(triples, rules):
+        engine = InferrayEngine(list(rules))
+        engine.load_triples(triples)
+        engine.materialize()
+        return set(engine.triples())
+
+    return _run
+
+
+@pytest.fixture
+def ex():
+    """Mint example.org IRIs: ex('a') == IRI('ex:a')."""
+
+    def _mint(name: str) -> IRI:
+        return IRI(f"ex:{name}")
+
+    return _mint
+
+
+def triple(s, p, o) -> Triple:
+    return Triple(s, p, o)

@@ -1,0 +1,415 @@
+"""One behavioural test per Table-5 rule (plus edge cases).
+
+Each test loads a minimal antecedent instance, materializes with just
+the rule under test (plus its Table-5 companions where the semantics
+need them, e.g. sameAs closure for PRP-FP), and asserts the expected
+head triples appear.
+"""
+
+from repro.rdf.terms import Triple
+from repro.rdf.vocabulary import OWL, RDF, RDFS
+from repro.rules.table5 import make_rules
+
+
+def rules(*names):
+    return make_rules(list(names))
+
+
+class TestCaxRules:
+    def test_cax_sco(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("c1"), RDFS.subClassOf, ex("c2")),
+                Triple(ex("x"), RDF.type, ex("c1")),
+            ],
+            rules("CAX-SCO"),
+        )
+        assert Triple(ex("x"), RDF.type, ex("c2")) in out
+
+    def test_cax_sco_no_false_direction(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("c1"), RDFS.subClassOf, ex("c2")),
+                Triple(ex("x"), RDF.type, ex("c2")),
+            ],
+            rules("CAX-SCO"),
+        )
+        assert Triple(ex("x"), RDF.type, ex("c1")) not in out
+
+    def test_cax_eqc1(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("c1"), OWL.equivalentClass, ex("c2")),
+                Triple(ex("x"), RDF.type, ex("c1")),
+            ],
+            rules("CAX-EQC1"),
+        )
+        assert Triple(ex("x"), RDF.type, ex("c2")) in out
+
+    def test_cax_eqc2(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("c1"), OWL.equivalentClass, ex("c2")),
+                Triple(ex("x"), RDF.type, ex("c2")),
+            ],
+            rules("CAX-EQC2"),
+        )
+        assert Triple(ex("x"), RDF.type, ex("c1")) in out
+
+
+class TestEqRules:
+    def test_eq_sym(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("a"), OWL.sameAs, ex("b"))], rules("EQ-SYM")
+        )
+        assert Triple(ex("b"), OWL.sameAs, ex("a")) in out
+
+    def test_eq_trans(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("a"), OWL.sameAs, ex("b")),
+                Triple(ex("b"), OWL.sameAs, ex("c")),
+            ],
+            rules("EQ-TRANS"),
+        )
+        assert Triple(ex("a"), OWL.sameAs, ex("c")) in out
+
+    def test_eq_rep_s(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("s1"), OWL.sameAs, ex("s2")),
+                Triple(ex("s2"), ex("p"), ex("o")),
+            ],
+            rules("EQ-REP-S"),
+        )
+        assert Triple(ex("s1"), ex("p"), ex("o")) in out
+
+    def test_eq_rep_o(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("o1"), OWL.sameAs, ex("o2")),
+                Triple(ex("s"), ex("p"), ex("o2")),
+            ],
+            rules("EQ-REP-O"),
+        )
+        assert Triple(ex("s"), ex("p"), ex("o1")) in out
+
+    def test_eq_rep_p(self, run_rules, ex):
+        # p1/p2 must be known properties: p2 is used as a predicate and
+        # p1 needs the promotion that owl:sameAs does not grant — the
+        # realistic instance has p1 used as a predicate somewhere too.
+        out = run_rules(
+            [
+                Triple(ex("s0"), ex("p1"), ex("o0")),
+                Triple(ex("p1"), OWL.sameAs, ex("p2")),
+                Triple(ex("s"), ex("p2"), ex("o")),
+            ],
+            rules("EQ-REP-P"),
+        )
+        assert Triple(ex("s"), ex("p1"), ex("o")) in out
+
+
+class TestPrpRules:
+    def test_prp_dom(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDFS.domain, ex("c")),
+                Triple(ex("x"), ex("p"), ex("y")),
+            ],
+            rules("PRP-DOM"),
+        )
+        assert Triple(ex("x"), RDF.type, ex("c")) in out
+        assert Triple(ex("y"), RDF.type, ex("c")) not in out
+
+    def test_prp_rng(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDFS.range, ex("c")),
+                Triple(ex("x"), ex("p"), ex("y")),
+            ],
+            rules("PRP-RNG"),
+        )
+        assert Triple(ex("y"), RDF.type, ex("c")) in out
+        assert Triple(ex("x"), RDF.type, ex("c")) not in out
+
+    def test_prp_spo1(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p1"), RDFS.subPropertyOf, ex("p2")),
+                Triple(ex("x"), ex("p1"), ex("y")),
+            ],
+            rules("PRP-SPO1"),
+        )
+        assert Triple(ex("x"), ex("p2"), ex("y")) in out
+
+    def test_prp_symp(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDF.type, OWL.SymmetricProperty),
+                Triple(ex("x"), ex("p"), ex("y")),
+            ],
+            rules("PRP-SYMP"),
+        )
+        assert Triple(ex("y"), ex("p"), ex("x")) in out
+
+    def test_prp_trp(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDF.type, OWL.TransitiveProperty),
+                Triple(ex("a"), ex("p"), ex("b")),
+                Triple(ex("b"), ex("p"), ex("c")),
+                Triple(ex("c"), ex("p"), ex("d")),
+            ],
+            rules("PRP-TRP"),
+        )
+        assert Triple(ex("a"), ex("p"), ex("c")) in out
+        assert Triple(ex("a"), ex("p"), ex("d")) in out
+        assert Triple(ex("b"), ex("p"), ex("d")) in out
+
+    def test_prp_inv1(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p1"), OWL.inverseOf, ex("p2")),
+                Triple(ex("x"), ex("p1"), ex("y")),
+            ],
+            rules("PRP-INV1"),
+        )
+        assert Triple(ex("y"), ex("p2"), ex("x")) in out
+
+    def test_prp_inv2(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p1"), OWL.inverseOf, ex("p2")),
+                Triple(ex("x"), ex("p2"), ex("y")),
+            ],
+            rules("PRP-INV2"),
+        )
+        assert Triple(ex("y"), ex("p1"), ex("x")) in out
+
+    def test_prp_eqp1(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p1"), OWL.equivalentProperty, ex("p2")),
+                Triple(ex("x"), ex("p1"), ex("y")),
+            ],
+            rules("PRP-EQP1"),
+        )
+        assert Triple(ex("x"), ex("p2"), ex("y")) in out
+
+    def test_prp_eqp2(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p1"), OWL.equivalentProperty, ex("p2")),
+                Triple(ex("x"), ex("p2"), ex("y")),
+            ],
+            rules("PRP-EQP2"),
+        )
+        assert Triple(ex("x"), ex("p1"), ex("y")) in out
+
+    def test_prp_fp(self, run_rules, ex):
+        # Full sameAs semantics needs EQ-SYM/EQ-TRANS to complete the
+        # clique from the consecutive pairs PRP-FP emits.
+        out = run_rules(
+            [
+                Triple(ex("p"), RDF.type, OWL.FunctionalProperty),
+                Triple(ex("x"), ex("p"), ex("y1")),
+                Triple(ex("x"), ex("p"), ex("y2")),
+                Triple(ex("x"), ex("p"), ex("y3")),
+            ],
+            rules("PRP-FP", "EQ-SYM", "EQ-TRANS"),
+        )
+        assert Triple(ex("y1"), OWL.sameAs, ex("y2")) in out
+        assert Triple(ex("y2"), OWL.sameAs, ex("y1")) in out
+        assert Triple(ex("y1"), OWL.sameAs, ex("y3")) in out
+
+    def test_prp_fp_no_conflict_no_sameas(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDF.type, OWL.FunctionalProperty),
+                Triple(ex("x"), ex("p"), ex("y1")),
+                Triple(ex("z"), ex("p"), ex("y2")),
+            ],
+            rules("PRP-FP", "EQ-SYM", "EQ-TRANS"),
+        )
+        assert Triple(ex("y1"), OWL.sameAs, ex("y2")) not in out
+
+    def test_prp_ifp(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDF.type, OWL.InverseFunctionalProperty),
+                Triple(ex("x1"), ex("p"), ex("y")),
+                Triple(ex("x2"), ex("p"), ex("y")),
+            ],
+            rules("PRP-IFP", "EQ-SYM", "EQ-TRANS"),
+        )
+        assert Triple(ex("x1"), OWL.sameAs, ex("x2")) in out
+
+
+class TestScmRules:
+    def test_scm_sco_chain(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("c1"), RDFS.subClassOf, ex("c2")),
+                Triple(ex("c2"), RDFS.subClassOf, ex("c3")),
+            ],
+            rules("SCM-SCO"),
+        )
+        assert Triple(ex("c1"), RDFS.subClassOf, ex("c3")) in out
+
+    def test_scm_spo_chain(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p1"), RDFS.subPropertyOf, ex("p2")),
+                Triple(ex("p2"), RDFS.subPropertyOf, ex("p3")),
+            ],
+            rules("SCM-SPO"),
+        )
+        assert Triple(ex("p1"), RDFS.subPropertyOf, ex("p3")) in out
+
+    def test_scm_dom1(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDFS.domain, ex("c1")),
+                Triple(ex("c1"), RDFS.subClassOf, ex("c2")),
+            ],
+            rules("SCM-DOM1"),
+        )
+        assert Triple(ex("p"), RDFS.domain, ex("c2")) in out
+
+    def test_scm_dom2(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p2"), RDFS.domain, ex("c")),
+                Triple(ex("p1"), RDFS.subPropertyOf, ex("p2")),
+            ],
+            rules("SCM-DOM2"),
+        )
+        assert Triple(ex("p1"), RDFS.domain, ex("c")) in out
+
+    def test_scm_rng1(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p"), RDFS.range, ex("c1")),
+                Triple(ex("c1"), RDFS.subClassOf, ex("c2")),
+            ],
+            rules("SCM-RNG1"),
+        )
+        assert Triple(ex("p"), RDFS.range, ex("c2")) in out
+
+    def test_scm_rng2(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p2"), RDFS.range, ex("c")),
+                Triple(ex("p1"), RDFS.subPropertyOf, ex("p2")),
+            ],
+            rules("SCM-RNG2"),
+        )
+        assert Triple(ex("p1"), RDFS.range, ex("c")) in out
+
+    def test_scm_eqc1(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("c1"), OWL.equivalentClass, ex("c2"))],
+            rules("SCM-EQC1"),
+        )
+        assert Triple(ex("c1"), RDFS.subClassOf, ex("c2")) in out
+        assert Triple(ex("c2"), RDFS.subClassOf, ex("c1")) in out
+
+    def test_scm_eqc2(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("c1"), RDFS.subClassOf, ex("c2")),
+                Triple(ex("c2"), RDFS.subClassOf, ex("c1")),
+            ],
+            rules("SCM-EQC2"),
+        )
+        assert Triple(ex("c1"), OWL.equivalentClass, ex("c2")) in out
+        assert Triple(ex("c2"), OWL.equivalentClass, ex("c1")) in out
+
+    def test_scm_eqc2_needs_both_directions(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("c1"), RDFS.subClassOf, ex("c2"))],
+            rules("SCM-EQC2"),
+        )
+        assert Triple(ex("c1"), OWL.equivalentClass, ex("c2")) not in out
+
+    def test_scm_eqp1(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("p1"), OWL.equivalentProperty, ex("p2"))],
+            rules("SCM-EQP1"),
+        )
+        assert Triple(ex("p1"), RDFS.subPropertyOf, ex("p2")) in out
+        assert Triple(ex("p2"), RDFS.subPropertyOf, ex("p1")) in out
+
+    def test_scm_eqp2(self, run_rules, ex):
+        out = run_rules(
+            [
+                Triple(ex("p1"), RDFS.subPropertyOf, ex("p2")),
+                Triple(ex("p2"), RDFS.subPropertyOf, ex("p1")),
+            ],
+            rules("SCM-EQP2"),
+        )
+        assert Triple(ex("p1"), OWL.equivalentProperty, ex("p2")) in out
+
+    def test_scm_cls(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("c"), RDF.type, OWL.Class)], rules("SCM-CLS")
+        )
+        assert Triple(ex("c"), RDFS.subClassOf, ex("c")) in out
+        assert Triple(ex("c"), OWL.equivalentClass, ex("c")) in out
+        assert Triple(ex("c"), RDFS.subClassOf, OWL.Thing) in out
+        assert Triple(OWL.Nothing, RDFS.subClassOf, ex("c")) in out
+
+    def test_scm_dp(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("p"), RDF.type, OWL.DatatypeProperty)],
+            rules("SCM-DP"),
+        )
+        assert Triple(ex("p"), RDFS.subPropertyOf, ex("p")) in out
+        assert Triple(ex("p"), OWL.equivalentProperty, ex("p")) in out
+
+    def test_scm_op(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("p"), RDF.type, OWL.ObjectProperty)],
+            rules("SCM-OP"),
+        )
+        assert Triple(ex("p"), RDFS.subPropertyOf, ex("p")) in out
+
+
+class TestRdfsAxiomRules:
+    def test_rdfs4_subjects_and_objects(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("x"), ex("p"), ex("y"))], rules("RDFS4")
+        )
+        assert Triple(ex("x"), RDF.type, RDFS.Resource) in out
+        assert Triple(ex("y"), RDF.type, RDFS.Resource) in out
+
+    def test_rdfs6(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("p"), RDF.type, RDF.Property)], rules("RDFS6")
+        )
+        assert Triple(ex("p"), RDFS.subPropertyOf, ex("p")) in out
+
+    def test_rdfs8(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("c"), RDF.type, RDFS.Class)], rules("RDFS8")
+        )
+        assert Triple(ex("c"), RDFS.subClassOf, RDFS.Resource) in out
+
+    def test_rdfs10(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("c"), RDF.type, RDFS.Class)], rules("RDFS10")
+        )
+        assert Triple(ex("c"), RDFS.subClassOf, ex("c")) in out
+
+    def test_rdfs12(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("m"), RDF.type, RDFS.ContainerMembershipProperty)],
+            rules("RDFS12"),
+        )
+        assert Triple(ex("m"), RDFS.subPropertyOf, RDFS.member) in out
+
+    def test_rdfs13(self, run_rules, ex):
+        out = run_rules(
+            [Triple(ex("d"), RDF.type, RDFS.Datatype)], rules("RDFS13")
+        )
+        assert Triple(ex("d"), RDFS.subClassOf, RDFS.Literal) in out

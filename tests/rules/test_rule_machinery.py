@@ -1,0 +1,166 @@
+"""Machinery-level tests: merge joins, theta pre-pass, contexts, misc."""
+
+from array import array
+
+import pytest
+
+from repro.core.engine import InferrayEngine
+from repro.rdf.terms import Triple
+from repro.rdf.vocabulary import OWL, RDF, RDFS
+from repro.rules.classes import AlphaRule, ThetaRule, merge_join_groups
+from repro.rules.table5 import make_rules
+
+
+class TestMergeJoinGroups:
+    @staticmethod
+    def collect(view1, view2):
+        hits = []
+        merge_join_groups(
+            array("q", view1),
+            array("q", view2),
+            lambda a, b: hits.append((tuple(a), tuple(b))),
+        )
+        return hits
+
+    def test_no_overlap(self):
+        assert self.collect([1, 10], [2, 20]) == []
+
+    def test_single_match(self):
+        assert self.collect([1, 10], [1, 20]) == [((10,), (20,))]
+
+    def test_group_cartesian(self):
+        hits = self.collect([5, 1, 5, 2], [5, 8, 5, 9])
+        assert hits == [((1, 2), (8, 9))]
+
+    def test_multiple_keys(self):
+        hits = self.collect([1, 10, 2, 20, 3, 30], [2, 200, 3, 300, 4, 400])
+        assert hits == [((20,), (200,)), ((30,), (300,))]
+
+    def test_empty_views(self):
+        assert self.collect([], [1, 2]) == []
+        assert self.collect([1, 2], []) == []
+
+
+class TestAlphaRuleValidation:
+    def test_bad_position_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaRule("X", "subClassOf", "x", "type", "o", "type", "r1", "r2")
+
+    def test_bad_head_source_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaRule(
+                "X", "subClassOf", "s", "type", "o", "type", "join", "r1"
+            )
+
+
+class TestThetaRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ThetaRule("X", "mystery")
+
+    def test_prepass_closes_before_iteration(self, ex):
+        engine = InferrayEngine(make_rules(["SCM-SCO"]))
+        engine.load_triples(
+            [
+                Triple(ex("a"), RDFS.subClassOf, ex("b")),
+                Triple(ex("b"), RDFS.subClassOf, ex("c")),
+                Triple(ex("c"), RDFS.subClassOf, ex("d")),
+            ]
+        )
+        stats = engine.materialize()
+        assert stats.closure_pairs > 0
+        assert Triple(ex("a"), RDFS.subClassOf, ex("d")) in set(
+            engine.triples()
+        )
+        # The fixed point should settle immediately after the pre-pass.
+        assert stats.iterations <= 2
+
+    def test_closure_reruns_when_new_edges_appear(self, ex):
+        # EQC1 feeds new subClassOf edges *during* iteration; SCM-SCO
+        # must still close them (theta re-fires on non-empty deltas).
+        engine = InferrayEngine(make_rules(["SCM-SCO", "SCM-EQC1"]))
+        engine.load_triples(
+            [
+                Triple(ex("a"), OWL.equivalentClass, ex("b")),
+                Triple(ex("b"), RDFS.subClassOf, ex("c")),
+                Triple(ex("c"), RDFS.subClassOf, ex("d")),
+            ]
+        )
+        engine.materialize()
+        assert Triple(ex("a"), RDFS.subClassOf, ex("d")) in set(
+            engine.triples()
+        )
+
+    def test_newly_marked_transitive_property(self, ex):
+        # The transitive marker itself arrives via CAX-SCO during the
+        # fixed point; PRP-TRP must pick the property up then.
+        engine = InferrayEngine(
+            make_rules(["PRP-TRP", "CAX-SCO"])
+        )
+        engine.load_triples(
+            [
+                Triple(ex("T"), RDFS.subClassOf, OWL.TransitiveProperty),
+                Triple(ex("p"), RDF.type, ex("T")),
+                Triple(ex("a"), ex("p"), ex("b")),
+                Triple(ex("b"), ex("p"), ex("c")),
+            ]
+        )
+        engine.materialize()
+        assert Triple(ex("a"), ex("p"), ex("c")) in set(engine.triples())
+
+    def test_sameas_closure_materialises_clique(self, ex):
+        engine = InferrayEngine(make_rules(["EQ-TRANS", "EQ-SYM"]))
+        engine.load_triples(
+            [
+                Triple(ex("a"), OWL.sameAs, ex("b")),
+                Triple(ex("b"), OWL.sameAs, ex("c")),
+            ]
+        )
+        engine.materialize()
+        out = set(engine.triples())
+        for x in ("a", "b", "c"):
+            for y in ("a", "b", "c"):
+                assert Triple(ex(x), OWL.sameAs, ex(y)) in out
+
+
+class TestSameAsInteraction:
+    def test_sameas_copies_property_tables_both_ways(self, ex):
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(
+            [
+                Triple(ex("a"), OWL.sameAs, ex("b")),
+                Triple(ex("a"), ex("p"), ex("v")),
+                Triple(ex("w"), ex("q"), ex("b")),
+            ]
+        )
+        engine.materialize()
+        out = set(engine.triples())
+        assert Triple(ex("b"), ex("p"), ex("v")) in out  # EQ-REP-S
+        assert Triple(ex("w"), ex("q"), ex("a")) in out  # EQ-REP-O
+
+    def test_sameas_predicate_substitution(self, ex):
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(
+            [
+                Triple(ex("s0"), ex("p1"), ex("o0")),
+                Triple(ex("s1"), ex("p2"), ex("o1")),
+                Triple(ex("p1"), OWL.sameAs, ex("p2")),
+            ]
+        )
+        engine.materialize()
+        out = set(engine.triples())
+        assert Triple(ex("s1"), ex("p1"), ex("o1")) in out
+        assert Triple(ex("s0"), ex("p2"), ex("o0")) in out
+
+
+class TestRuleStatsTracking:
+    def test_per_rule_counters_populate(self, ex):
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(
+            [
+                Triple(ex("c1"), RDFS.subClassOf, ex("c2")),
+                Triple(ex("x"), RDF.type, ex("c1")),
+            ]
+        )
+        stats = engine.materialize()
+        assert stats.per_rule.get("CAX-SCO", 0) >= 1

@@ -1,0 +1,58 @@
+"""Tests for the memory valve (§4.2: the droppable o-s cache) and
+configurable memsim geometry."""
+
+from repro.core.engine import InferrayEngine
+from repro.datasets.lubm import lubm_like
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.tracer import RecordingTracer
+
+
+class TestCacheValveEndToEnd:
+    def test_drop_after_materialization_frees_memory(self):
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(lubm_like(3))
+        engine.materialize()
+        with_caches = engine.memory_bytes()
+        dropped = engine.main.drop_os_caches()
+        assert dropped > 0
+        assert engine.memory_bytes() < with_caches
+
+    def test_queries_still_work_after_drop(self):
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(lubm_like(2))
+        engine.materialize()
+        engine.main.drop_os_caches()
+        # Object-keyed queries recompute the view transparently.
+        some = next(engine.encoded_triples())
+        hits = list(engine.main.query(None, some[1], some[2]))
+        assert some in hits
+
+    def test_rematerialization_after_drop_is_stable(self):
+        engine = InferrayEngine("rdfs-plus")
+        engine.load_triples(lubm_like(2))
+        engine.materialize()
+        before = set(engine.triples())
+        engine.main.drop_os_caches()
+        stats = engine.materialize()
+        assert stats.n_inferred == 0
+        assert set(engine.triples()) == before
+
+
+class TestCustomHierarchyGeometry:
+    def test_smaller_l1_misses_more(self):
+        tracer = RecordingTracer()
+        # Two passes over a 16 KiB array: fits a 32K L1, not a 8K one.
+        tracer.sequential_scan("arr", 16 * 1024)
+        tracer.sequential_scan("arr", 16 * 1024)
+        big = MemoryHierarchy(l1_size=32 * 1024).replay(tracer.ops)
+        small = MemoryHierarchy(l1_size=8 * 1024).replay(tracer.ops)
+        assert small.l1_misses > big.l1_misses
+
+    def test_larger_tlb_misses_less(self):
+        tracer = RecordingTracer()
+        tracer.alloc("r", 2 << 20)
+        tracer.random_access("r", 2000)
+        tracer.random_access("r", 2000)
+        small = MemoryHierarchy(tlb_entries=16).replay(tracer.ops)
+        large = MemoryHierarchy(tlb_entries=1024).replay(tracer.ops)
+        assert large.tlb_misses < small.tlb_misses

@@ -1,0 +1,161 @@
+"""Unit tests for TripleStore and InferredBuffers."""
+
+from array import array
+
+from repro.store.triple_store import InferredBuffers, TripleStore
+
+
+def flat(pairs):
+    out = array("q")
+    for s, o in pairs:
+        out.append(s)
+        out.append(o)
+    return out
+
+
+class TestInferredBuffers:
+    def test_emit_accumulates(self):
+        buffers = InferredBuffers()
+        buffers.emit(10, 1, 2)
+        buffers.emit(10, 3, 4)
+        buffers.emit(20, 5, 6)
+        assert len(buffers) == 3
+        assert bool(buffers)
+
+    def test_extend(self):
+        buffers = InferredBuffers()
+        buffers.extend(10, flat([(1, 2), (3, 4)]))
+        buffers.extend(10, array("q"))
+        assert len(buffers) == 2
+
+    def test_empty(self):
+        buffers = InferredBuffers()
+        assert not buffers
+        assert len(buffers) == 0
+
+
+class TestTripleStoreLoading:
+    def test_add_encoded_partitions_by_property(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2), (3, 100, 4), (5, 200, 6)])
+        assert store.n_triples == 3
+        assert store.table(100).n_pairs == 2
+        assert store.table(200).n_pairs == 1
+        assert store.table(300) is None
+
+    def test_add_encoded_dedups(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2)] * 5)
+        assert store.n_triples == 1
+
+    def test_incremental_add_merges(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2)])
+        store.add_encoded([(1, 100, 2), (9, 100, 9)])
+        assert store.table(100).n_pairs == 2
+
+    def test_add_pairs(self):
+        store = TripleStore()
+        store.add_pairs(100, flat([(2, 2), (1, 1)]))
+        assert list(store.table(100).iter_pairs()) == [(1, 1), (2, 2)]
+
+    def test_contains(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2)])
+        assert (1, 100, 2) in store
+        assert (1, 100, 3) not in store
+        assert (1, 999, 2) not in store
+
+
+class TestMergeInferred:
+    def test_returns_delta_store(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2)])
+        buffers = InferredBuffers()
+        buffers.emit(100, 1, 2)  # duplicate
+        buffers.emit(100, 7, 8)  # new
+        buffers.emit(200, 5, 5)  # new property
+        new = store.merge_inferred(buffers)
+        assert new.n_triples == 2
+        assert (7, 100, 8) in new
+        assert (5, 200, 5) in new
+        assert (1, 100, 2) not in new
+        assert store.n_triples == 3
+
+    def test_empty_buffers_empty_delta(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2)])
+        new = store.merge_inferred(InferredBuffers())
+        assert new.n_triples == 0
+        assert not new
+
+    def test_raw_duplicates_collapsed(self):
+        store = TripleStore()
+        buffers = InferredBuffers()
+        for _ in range(10):
+            buffers.emit(100, 1, 2)
+        new = store.merge_inferred(buffers)
+        assert new.n_triples == 1
+
+
+class TestQueries:
+    def setup_method(self):
+        self.store = TripleStore()
+        self.store.add_encoded(
+            [(1, 100, 2), (1, 100, 3), (4, 100, 2), (1, 200, 9)]
+        )
+
+    def test_fully_bound(self):
+        assert list(self.store.query(1, 100, 2)) == [(1, 100, 2)]
+        assert list(self.store.query(1, 100, 99)) == []
+
+    def test_subject_property(self):
+        assert set(self.store.query(1, 100, None)) == {
+            (1, 100, 2),
+            (1, 100, 3),
+        }
+
+    def test_object_property(self):
+        assert set(self.store.query(None, 100, 2)) == {
+            (1, 100, 2),
+            (4, 100, 2),
+        }
+
+    def test_property_only(self):
+        assert len(list(self.store.query(None, 100, None))) == 3
+
+    def test_subject_across_properties(self):
+        assert len(list(self.store.query(1, None, None))) == 3
+
+    def test_full_scan(self):
+        assert len(list(self.store.query())) == 4
+
+    def test_triples_iteration(self):
+        assert set(self.store.triples()) == self.store.as_set()
+
+    def test_missing_property(self):
+        assert list(self.store.query(None, 999, None)) == []
+
+
+class TestMisc:
+    def test_copy_independent(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2)])
+        clone = store.copy()
+        clone.add_encoded([(9, 100, 9)])
+        assert store.n_triples == 1
+        assert clone.n_triples == 2
+
+    def test_stats(self):
+        store = TripleStore()
+        store.add_encoded([(1, 100, 2), (1, 200, 3), (2, 200, 4)])
+        stats = store.stats()
+        assert stats["n_properties"] == 2
+        assert stats["n_triples"] == 3
+        assert stats["largest_table"] == 2
+
+    def test_property_ids_skips_empty(self):
+        store = TripleStore()
+        store.get_or_create(123)
+        store.add_encoded([(1, 100, 2)])
+        assert store.property_ids() == [100]
