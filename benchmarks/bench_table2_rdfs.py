@@ -12,8 +12,14 @@ and on the leaner fragments; the RETE engine trails and times out
 first as datasets grow.
 
 Run:     python benchmarks/bench_table2_rdfs.py
+Backends: python benchmarks/bench_table2_rdfs.py --backend numpy
+         runs the Inferray engine under the pure-Python kernels AND the
+         requested kernel backend side by side and reports per-cell
+         speedups (see repro.kernels).
 Pytest:  pytest benchmarks/bench_table2_rdfs.py --benchmark-only
 """
+
+import argparse
 
 import pytest
 
@@ -60,11 +66,129 @@ def run_table(timeout=TIMEOUT, runs=1, subset=None):
     return results
 
 
-def main():
-    results = run_table()
+def run_backend_table(backend, timeout=TIMEOUT, runs=1, subset=None):
+    """Inferray under the pure-Python kernels vs under ``backend``."""
+    backends = ("python",) if backend == "python" else ("python", backend)
+    results = []
+    for dataset_name, data in subset or workloads():
+        for fragment in FRAGMENTS:
+            for kernel_backend in backends:
+                results.append(
+                    run_engine(
+                        "inferray",
+                        fragment,
+                        data,
+                        dataset_name=dataset_name,
+                        timeout_seconds=timeout,
+                        warmup=0,
+                        runs=runs,
+                        engine_kwargs={"backend": kernel_backend},
+                        label=kernel_backend,
+                    )
+                )
+    return results
+
+
+def _report_backend_comparison(backend, results, timeout=TIMEOUT):
+    print(
+        f"Table 2 — Inferray kernel backends (python vs {backend}), "
+        f"execution time in ms ('–' = timeout of {timeout:.0f}s)"
+    )
+    print(results_matrix(results, columns=["python", backend]))
+    print()
+    by_cell = {}
+    for result in results:
+        by_cell.setdefault((result.dataset, result.ruleset), {})[
+            result.engine
+        ] = result
+    largest = None
+    for (dataset, ruleset), cells in by_cell.items():
+        base = cells.get("python")
+        fast = cells.get(backend)
+        if base is None or fast is None:
+            continue
+        if fast.seconds is None or fast.seconds <= 0:
+            if base.seconds is not None:
+                print(
+                    f"  {dataset}/{ruleset}: {backend} timed out, "
+                    f"python finished in {base.cell()} ms"
+                )
+            continue
+        n_input = fast.n_input
+        if base.seconds is None:
+            # python hit the timeout: report the provable lower bound
+            # instead of silently dropping the cell.
+            factor = timeout / fast.seconds
+            print(
+                f"  {dataset}/{ruleset}: {backend} is >= {factor:.1f}x "
+                f"faster than python (python timed out at "
+                f"{timeout * 1000:,.0f} ms -> {fast.cell()} ms, "
+                f"{fast.n_inferred} inferred)"
+            )
+        else:
+            factor = base.seconds / fast.seconds
+            print(
+                f"  {dataset}/{ruleset}: {backend} is {factor:.1f}x "
+                f"{'faster' if factor >= 1 else 'slower'} than python "
+                f"({base.cell()} ms -> {fast.cell()} ms, "
+                f"{fast.n_inferred} inferred)"
+            )
+        if (
+            largest is None
+            or n_input > largest[0]
+            or (n_input == largest[0] and factor > largest[3])
+        ):
+            largest = (n_input, dataset, ruleset, factor)
+    if largest:
+        _, dataset, ruleset, factor = largest
+        print(
+            f"\n  largest dataset ({dataset}, {ruleset}): "
+            f"{backend} speedup {factor:.1f}x over the pure-Python backend"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        choices=("python", "numpy", "auto"),
+        default=None,
+        help="compare Inferray kernel backends (python vs the given "
+        "one) instead of the engine-vs-engine table",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=TIMEOUT,
+        help=f"per-run timeout in seconds (default {TIMEOUT:.0f})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.backend:
+        from repro.kernels import KernelUnavailableError, numpy_available
+
+        backend = args.backend
+        if backend == "auto":
+            backend = "numpy" if numpy_available() else "python"
+        try:
+            results = run_backend_table(backend, timeout=args.timeout)
+        except KernelUnavailableError as error:
+            import sys
+
+            print(f"bench_table2_rdfs: {error}", file=sys.stderr)
+            raise SystemExit(2)
+        if backend == "python":
+            print(
+                "Table 2 — Inferray on the pure-Python kernel backend, "
+                f"execution time in ms ('–' = timeout of {args.timeout:.0f}s)"
+            )
+            print(results_matrix(results, columns=["python"]))
+        else:
+            _report_backend_comparison(backend, results, timeout=args.timeout)
+        return
+
+    results = run_table(timeout=args.timeout)
     print(
         "Table 2 — RDFS flavours, execution time in ms "
-        f"('–' = timeout of {TIMEOUT:.0f}s; * = synthetic stand-in)"
+        f"('–' = timeout of {args.timeout:.0f}s; * = synthetic stand-in)"
     )
     print(results_matrix(results, columns=ENGINES))
     print()

@@ -107,19 +107,27 @@ def run_engine(
     timeout_seconds: float = 60.0,
     warmup: int = 1,
     runs: int = 3,
+    engine_kwargs: Optional[Dict] = None,
+    label: Optional[str] = None,
 ) -> RunResult:
     """Measure one engine materializing one workload.
 
     Every run builds a fresh engine (load time excluded from the timed
     region is *not* attempted — the paper measures inference time for
     the in-memory engines, so we time ``materialize()`` only).
+
+    ``engine_kwargs`` are forwarded to the engine factory (e.g.
+    ``{"backend": "numpy"}`` to pin the Inferray kernel backend);
+    ``label`` overrides the engine name recorded on the result, so one
+    engine can appear as several table columns (backend comparisons).
     """
     factory = ENGINE_FACTORIES[engine_name]
+    kwargs = engine_kwargs or {}
     data = list(data)
     outcome: Dict[str, int] = {}
 
     def once() -> Dict[str, int]:
-        engine = factory(ruleset)
+        engine = factory(ruleset, **kwargs)
         engine.load_triples(data)
         started = time.perf_counter()
         engine.materialize(timeout_seconds=timeout_seconds)
@@ -143,14 +151,14 @@ def run_engine(
         mean_seconds = statistics.fmean(timings)
     except MaterializationTimeout:
         return RunResult(
-            engine=engine_name,
+            engine=label or engine_name,
             dataset=dataset_name,
             ruleset=ruleset,
             seconds=None,
             n_input=len(data),
         )
     return RunResult(
-        engine=engine_name,
+        engine=label or engine_name,
         dataset=dataset_name,
         ruleset=ruleset,
         seconds=mean_seconds,

@@ -16,6 +16,7 @@ import sys
 from typing import List, Optional
 
 from .core.engine import InferrayEngine
+from .kernels import BACKEND_NAMES, KernelUnavailableError
 from .rdf.ntriples import write_file
 from .rdf.turtle import parse_turtle_file
 from .rules.rulesets import RULESET_NAMES, ruleset_rule_names
@@ -27,6 +28,16 @@ def _load_input(engine: InferrayEngine, path: str) -> int:
     if path.endswith((".ttl", ".turtle")):
         return engine.load_triples(parse_turtle_file(path))
     return engine.load_file(path)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="kernel backend for the pair-array hot paths "
+        "(default: numpy when available, else python)",
+    )
 
 
 def _add_ruleset_argument(parser: argparse.ArgumentParser) -> None:
@@ -66,8 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=("auto", "counting", "radix", "timsort"),
         default="auto",
-        help="pair-sort backend (default: the paper's operating ranges)",
+        help="scalar pair-sort algorithm (default: the paper's "
+        "operating ranges; forcing one pins --backend auto to the "
+        "python kernels and conflicts with --backend numpy)",
     )
+    _add_backend_argument(infer_cmd)
     infer_cmd.add_argument(
         "--timeout", type=float, default=None,
         help="abort after this many seconds",
@@ -78,6 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats_cmd.add_argument("input", help="input N-Triples file")
     _add_ruleset_argument(stats_cmd)
+    _add_backend_argument(stats_cmd)
 
     rules_cmd = commands.add_parser(
         "rules", help="list the rules of a fragment (paper Table 5)"
@@ -88,7 +103,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_infer(args: argparse.Namespace) -> int:
-    engine = InferrayEngine(args.ruleset, algorithm=args.algorithm)
+    if args.backend == "numpy" and args.algorithm != "auto":
+        # The scalar-sort ablation is only observable on the
+        # interpreted kernels; the numpy sort would silently ignore it.
+        print(
+            f"repro: --algorithm {args.algorithm} is a scalar-sort "
+            "ablation and has no effect on the numpy backend; use "
+            "--backend python (or auto)",
+            file=sys.stderr,
+        )
+        return 2
+    engine = InferrayEngine(
+        args.ruleset, algorithm=args.algorithm, backend=args.backend
+    )
     loaded = _load_input(engine, args.input)
     asserted = set(engine.encoded_triples()) if args.inferred_only else None
     engine.materialize(timeout_seconds=args.timeout)
@@ -114,9 +141,10 @@ def _run_infer(args: argparse.Namespace) -> int:
 
 
 def _run_stats(args: argparse.Namespace) -> int:
-    engine = InferrayEngine(args.ruleset)
+    engine = InferrayEngine(args.ruleset, backend=args.backend)
     loaded = _load_input(engine, args.input)
     stats = engine.materialize()
+    print(f"kernel backend:    {engine.kernels.name}")
     print(f"input triples:     {loaded}")
     print(f"inferred triples:  {stats.n_inferred}")
     print(f"total triples:     {stats.n_total}")
@@ -154,6 +182,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "stats":
             return _run_stats(args)
         return _run_rules(args)
+    except KernelUnavailableError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, the
         # POSIX-CLI convention.

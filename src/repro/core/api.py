@@ -20,6 +20,7 @@ def infer(
     ruleset: Union[str, List[Rule]] = "rdfs-default",
     *,
     algorithm: str = "auto",
+    backend: str = "auto",
 ) -> Graph:
     """Materialize ``triples`` under a ruleset; returns the closed graph.
 
@@ -33,7 +34,7 @@ def infer(
     >>> Triple(bart, RDF.type, mammal) in g
     True
     """
-    engine = InferrayEngine(ruleset, algorithm=algorithm)
+    engine = InferrayEngine(ruleset, algorithm=algorithm, backend=backend)
     engine.load_triples(triples)
     engine.materialize()
     return Graph(engine.triples())
@@ -44,9 +45,10 @@ def infer_with_stats(
     ruleset: Union[str, List[Rule]] = "rdfs-default",
     *,
     algorithm: str = "auto",
+    backend: str = "auto",
 ) -> Tuple[Graph, MaterializationStats]:
     """Like :func:`infer` but also returns the materialization stats."""
-    engine = InferrayEngine(ruleset, algorithm=algorithm)
+    engine = InferrayEngine(ruleset, algorithm=algorithm, backend=backend)
     engine.load_triples(triples)
     stats = engine.materialize()
     return Graph(engine.triples()), stats
@@ -57,9 +59,10 @@ def load_and_materialize(
     ruleset: Union[str, List[Rule]] = "rdfs-default",
     *,
     algorithm: str = "auto",
+    backend: str = "auto",
 ) -> InferrayEngine:
     """Parse an N-Triples file, materialize, and return the engine."""
-    engine = InferrayEngine(ruleset, algorithm=algorithm)
+    engine = InferrayEngine(ruleset, algorithm=algorithm, backend=backend)
     engine.load_file(path)
     engine.materialize()
     return engine
@@ -78,9 +81,11 @@ class InferredModel:
         self,
         triples: Iterable[Triple],
         ruleset: Union[str, List[Rule]] = "rdfs-default",
+        *,
+        backend: str = "auto",
     ):
         self._asserted = list(triples)
-        self._engine = InferrayEngine(ruleset)
+        self._engine = InferrayEngine(ruleset, backend=backend)
         self._engine.load_triples(self._asserted)
         self._engine.materialize()
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..dictionary.encoding import Dictionary, encode_dataset
+from ..kernels import KernelBackend, resolve_backend
 from ..rdf.ntriples import parse_file
 from ..rdf.terms import Term, Triple
 from ..rules.rulesets import get_ruleset
@@ -76,9 +77,15 @@ class InferrayEngine:
         'rdfs-plus', 'rdfs-plus-full') or an explicit list of
         :class:`repro.rules.Rule` instances.
     algorithm:
-        Pair-sort backend: 'auto' (the paper's counting/MSDA-radix
-        operating-range dispatch), or forced 'counting' / 'radix' /
-        'timsort' for ablations.
+        Scalar pair-sort algorithm: 'auto' (the paper's counting/
+        MSDA-radix operating-range dispatch), or forced 'counting' /
+        'radix' / 'timsort' for ablations.  Forcing one pins
+        ``backend='auto'`` to the pure-Python kernels, where the choice
+        is observable.
+    backend:
+        Kernel backend the store and rule executors run on: 'auto'
+        (NumPy when available, else pure Python), 'python', 'numpy', or
+        a :class:`repro.kernels.KernelBackend` instance.
     tracer:
         Optional memory tracer (see :mod:`repro.memsim`) that receives
         table-level operation events for the Figure-7/8 experiments.
@@ -94,6 +101,7 @@ class InferrayEngine:
         ruleset: Union[str, List[Rule]] = "rdfs-default",
         *,
         algorithm: str = "auto",
+        backend: Union[str, KernelBackend] = "auto",
         tracer=None,
         max_iterations: int = 10_000,
         os_cache: bool = True,
@@ -106,8 +114,12 @@ class InferrayEngine:
             self.ruleset_name = "custom"
         self.dictionary = Dictionary()
         self.vocab = Vocab(self.dictionary)
+        self.kernels = resolve_backend(backend, algorithm=algorithm)
         self.main = TripleStore(
-            algorithm=algorithm, tracer=tracer, cache_os=os_cache
+            algorithm=algorithm,
+            tracer=tracer,
+            cache_os=os_cache,
+            backend=self.kernels,
         )
         self.algorithm = algorithm
         self.tracer = tracer
@@ -160,6 +172,7 @@ class InferrayEngine:
             new=self.main,
             out=prepass_buffers,
             vocab=self.vocab,
+            kernels=self.kernels,
         )
         theta_rules = [rule for rule in self.rules if rule.rule_class == "theta"]
         for rule in theta_rules:
@@ -192,6 +205,7 @@ class InferrayEngine:
                 vocab=self.vocab,
                 iteration=iteration,
                 theta_prepass_done=bool(theta_rules),
+                kernels=self.kernels,
             )
             infer_started = time.perf_counter()
             for rule in self.rules:
@@ -237,6 +251,7 @@ class InferrayEngine:
             algorithm=self.algorithm,
             tracer=self.tracer,
             cache_os=self.main.cache_os,
+            backend=self.kernels,
         )
         self.main.add_encoded(surviving)
         self._materialized = False
@@ -304,6 +319,7 @@ class InferrayEngine:
                 vocab=self.vocab,
                 iteration=iteration,
                 theta_prepass_done=True,
+                kernels=self.kernels,
             )
             infer_started = time.perf_counter()
             for rule in self.rules:

@@ -1,0 +1,123 @@
+"""Pluggable kernel backends for the vertical store's hot paths.
+
+See :mod:`repro.kernels.base` for the interface.  This module owns
+backend discovery and selection:
+
+* :func:`get_backend` — name → shared backend instance;
+* :func:`resolve_backend` — the policy used by the engine/store:
+  ``'auto'`` picks NumPy when it is importable *and* the caller is not
+  forcing one of the scalar sort algorithms (the counting/radix/timsort
+  ablations are only meaningful on the interpreted backend), else the
+  pure-Python reference backend;
+* :func:`numpy_available` — availability probe.
+
+Environment knobs (read at call time, so tests and CI can toggle them):
+
+* ``REPRO_KERNELS`` — overrides the ``'auto'`` default (``python`` or
+  ``numpy``), without touching call sites;
+* ``REPRO_KERNELS_DISABLE_NUMPY`` — any non-empty value other than
+  ``0`` makes NumPy count as unavailable, so the pure-Python fallback
+  can be exercised on machines that do have NumPy installed (the CI
+  matrix uses this).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from .base import KernelBackend
+from .python_backend import PYTHON_KERNELS, PythonKernels
+
+__all__ = [
+    "BACKEND_NAMES",
+    "KernelBackend",
+    "KernelUnavailableError",
+    "PythonKernels",
+    "get_backend",
+    "numpy_available",
+    "resolve_backend",
+]
+
+#: Names accepted by the public ``backend=`` parameters.
+BACKEND_NAMES = ("auto", "python", "numpy")
+
+_NUMPY_IMPORT_FAILED = False
+_NUMPY_KERNELS: Optional[KernelBackend] = None
+
+
+class KernelUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot be provided."""
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy backend can be used right now."""
+    if os.environ.get("REPRO_KERNELS_DISABLE_NUMPY", "") not in ("", "0"):
+        return False
+    return _load_numpy_backend() is not None
+
+
+def _load_numpy_backend() -> Optional[KernelBackend]:
+    global _NUMPY_IMPORT_FAILED, _NUMPY_KERNELS
+    if _NUMPY_KERNELS is None and not _NUMPY_IMPORT_FAILED:
+        try:
+            from .numpy_backend import NUMPY_KERNELS
+        except ImportError:
+            _NUMPY_IMPORT_FAILED = True
+        else:
+            _NUMPY_KERNELS = NUMPY_KERNELS
+    return _NUMPY_KERNELS
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The shared backend instance for an explicit name."""
+    if name == "python":
+        return PYTHON_KERNELS
+    if name == "numpy":
+        if not numpy_available():
+            raise KernelUnavailableError(
+                "the numpy kernel backend was requested but numpy is not "
+                "available (not installed, or disabled via "
+                "REPRO_KERNELS_DISABLE_NUMPY)"
+            )
+        return _load_numpy_backend()
+    raise KernelUnavailableError(
+        f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def resolve_backend(
+    backend: Union[str, KernelBackend, None] = "auto",
+    *,
+    algorithm: str = "auto",
+) -> KernelBackend:
+    """Apply the selection policy (see module docstring).
+
+    ``backend`` may already be a :class:`KernelBackend` instance (passed
+    through unchanged), a name from :data:`BACKEND_NAMES`, or ``None`` /
+    ``'auto'`` for the default policy.  A forced scalar sort
+    ``algorithm`` (anything but ``'auto'``) pins ``'auto'`` to the
+    pure-Python backend — where that choice is observable — *before*
+    the ``REPRO_KERNELS`` env default is consulted, so the ablation
+    invariant holds under any environment.  Explicitly requesting the
+    numpy backend together with a forced algorithm is a contradiction
+    (the vectorized sort would silently ignore it) and raises
+    ``ValueError``.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend is None:
+        backend = "auto"
+    if backend == "auto" and algorithm != "auto":
+        return PYTHON_KERNELS
+    if backend == "auto":
+        backend = os.environ.get("REPRO_KERNELS", "auto") or "auto"
+    if backend == "auto":
+        return get_backend("numpy") if numpy_available() else PYTHON_KERNELS
+    if backend == "numpy" and algorithm != "auto":
+        raise ValueError(
+            f"algorithm={algorithm!r} is a scalar-sort ablation that the "
+            "numpy backend would silently ignore; use backend='python' "
+            "(or 'auto', which pins to python when an algorithm is forced)"
+        )
+    return get_backend(backend)

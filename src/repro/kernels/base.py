@@ -1,0 +1,130 @@
+"""Kernel backend interface: the pair-array hot-path primitives.
+
+Every cache-friendly pass Inferray makes over the vertical store —
+sort+dedup commits (Algorithm 2 / §5), the Figure-5 merge, the lazily
+cached ⟨o, s⟩ views and the sort-merge joins of rule execution (§4.4) —
+is a small set of operations over flat 64-bit pair arrays (even index =
+key, odd index = companion).  A :class:`KernelBackend` bundles one
+implementation of those operations, so the store and the rule executors
+are written once against this interface and the execution substrate is
+swappable:
+
+* ``python`` — the reference implementation, interpreted loops over
+  ``array('q')`` (see :mod:`repro.kernels.python_backend`); always
+  available, and the substrate on which the paper's counting/MSD-radix
+  operating-range dispatch is meaningful.
+* ``numpy`` — vectorized kernels over ``int64`` ndarrays
+  (:mod:`repro.kernels.numpy_backend`); the flat-int encoding of the
+  dictionary makes the pair arrays drop-in compatible with NumPy
+  vectors, so every pass runs at C speed.
+
+Backends are semantically interchangeable: for any input, every kernel
+must return the same *values* regardless of backend (the differential
+suite under ``tests/kernels/`` enforces this).  The concrete flat-array
+type differs (``array('q')`` vs ``numpy.ndarray``); both support
+``len``, indexing, slicing and iteration, which is all the generic store
+code relies on.
+
+All inputs marked *sorted* mean sorted lexicographically on
+(even, odd) components; *sorted-unique* additionally means free of
+duplicate pairs.  Kernels never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+class KernelBackend:
+    """Abstract pair-array kernel bundle (see module docstring)."""
+
+    #: Backend identifier ('python', 'numpy'); shown by the CLI and the
+    #: benchmark reports.
+    name: str = "abstract"
+
+    # -- representation -------------------------------------------------
+    def asarray(self, flat):
+        """Coerce a flat pair sequence to this backend's native type.
+
+        Zero-copy when the input already is native; the result must be
+        treated as read-only (it may alias the input).
+        """
+        raise NotImplementedError
+
+    def empty(self):
+        """A new empty native flat array."""
+        raise NotImplementedError
+
+    def copy_flat(self, flat):
+        """An independent native copy of a flat array."""
+        raise NotImplementedError
+
+    def concat(self, chunks: Sequence) -> object:
+        """Concatenate flat chunks (possibly of foreign types) natively."""
+        raise NotImplementedError
+
+    # -- sorting & the Figure-5 merge -----------------------------------
+    def sort_pairs(self, flat, *, dedup: bool = True, algorithm: str = "auto"):
+        """Sort a flat pair array on (even, odd); optionally deduplicate.
+
+        ``algorithm`` selects the scalar sort family ('auto' applies the
+        paper's Table-1 operating ranges); vectorized backends may
+        ignore it.
+        """
+        raise NotImplementedError
+
+    def merge_new(self, main, inferred) -> Tuple[object, object]:
+        """Figure-5 update: returns ``(main ∪ inferred, inferred ∖ main)``.
+
+        Both inputs are sorted-unique; both outputs are sorted-unique.
+        The first return value replaces the main table, the second is
+        the genuinely-new delta that seeds the next iteration.
+        """
+        raise NotImplementedError
+
+    # -- views ----------------------------------------------------------
+    def swap(self, flat):
+        """Swap even/odd components of every pair (no re-sort)."""
+        raise NotImplementedError
+
+    def os_view(self, sorted_pairs, *, algorithm: str = "auto"):
+        """The ⟨o, s⟩ permutation of a sorted ⟨s, o⟩ array, re-sorted."""
+        raise NotImplementedError
+
+    # -- join primitives (§4.4) -----------------------------------------
+    def merge_join(self, view1, view2, *, swap: bool = False):
+        """Sort-merge join keyed on the even components of both views.
+
+        For every key present in both views, emits the cross product of
+        the odd-position companions as flat ⟨rest1, rest2⟩ pairs
+        (⟨rest2, rest1⟩ when ``swap``).  Inputs sorted on their even
+        component.
+        """
+        raise NotImplementedError
+
+    def intersect(self, view1, view2):
+        """Pairs present in both sorted views, in view1 order."""
+        raise NotImplementedError
+
+    def consecutive_in_group(self, view):
+        """⟨vᵢ₋₁, vᵢ⟩ for consecutive differing values within each
+        equal-key run of a sorted view (the PRP-FP/IFP conflict scan)."""
+        raise NotImplementedError
+
+    # -- scans & lookups ------------------------------------------------
+    def distinct_evens(self, sorted_flat) -> Sequence[int]:
+        """Distinct even-position keys of a sorted flat array, in order."""
+        raise NotImplementedError
+
+    def pair_with_constant(
+        self, values: Iterable[int], constant: int, *, constant_as_object: bool = True
+    ):
+        """Flat pairs ⟨v, c⟩ (or ⟨c, v⟩) for every v in ``values``."""
+        raise NotImplementedError
+
+    def key_slice(self, sorted_flat, key: int) -> Tuple[int, int]:
+        """[start, end) pair-index range of rows whose even part == key."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,347 @@
+"""NumPy kernel backend: vectorized pair-array primitives.
+
+Same semantics as :mod:`repro.kernels.python_backend`, executed as
+whole-array NumPy operations over ``int64`` vectors:
+
+* sort+dedup — ``np.lexsort`` on the (object, subject) key pair
+  followed by a boundary-mask dedup (no second sort);
+* Figure-5 merge — row membership via ``np.searchsorted`` on a
+  structured ⟨s, o⟩ row view (exact for the full int64 range — no
+  lossy composite-key packing), then a stable timsort of the
+  concatenated runs, which is linear on two sorted inputs;
+* ⟨o, s⟩ view — one lexsort of the swapped components;
+* merge-join — group boundaries from boundary masks,
+  ``np.intersect1d`` on the distinct keys, and the per-key cross
+  products materialized with the repeat/offset trick (no Python-level
+  loop over matches).
+
+The dictionary's dense flat-int encoding (ids are small consecutive
+ints) is what makes the store's pair arrays directly usable as NumPy
+vectors; ``array('q')`` inputs are adopted zero-copy through the buffer
+protocol.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..sorting.counting import SortingError
+from .base import KernelBackend
+
+INT64 = np.int64
+
+#: Structured dtype giving lexicographic row order on ⟨even, odd⟩ —
+#: used for exact row-wise searchsorted/merge without packing two
+#: int64s into one key.
+PAIR_DTYPE = np.dtype([("s", "<i8"), ("o", "<i8")])
+
+
+#: A component packs when its *range* (max − min) fits in 32 bits: the
+#: pair is rebased to its component minima and packed into one uint64
+#: key (((even − e₀) << 32) | (odd − o₀)), whose natural order equals
+#: the lexicographic pair order.  Rebasing matters: the dictionary's
+#: dense split numbering clusters property ids just below and resource
+#: ids just above 2³², so absolute values exceed 32 bits on every real
+#: workload while the *spread* stays tiny.  Ranges ≥ 2³² fall back to
+#: the structured row path.
+PACK_LIMIT = 1 << 32
+
+_SHIFT = np.uint64(32)
+_LOW_MASK = np.uint64(PACK_LIMIT - 1)
+
+
+def _pack_bases(evens: np.ndarray, odds: np.ndarray):
+    """(e₀, o₀) rebase offsets for one array, or None if out of range."""
+    e_min, e_max = int(evens.min()), int(evens.max())
+    o_min, o_max = int(odds.min()), int(odds.max())
+    if e_max - e_min >= PACK_LIMIT or o_max - o_min >= PACK_LIMIT:
+        return None
+    return e_min, o_min
+
+
+def _pack_rebased(
+    evens: np.ndarray, odds: np.ndarray, e_base: int, o_base: int
+) -> np.ndarray:
+    return ((evens - e_base).astype(np.uint64) << _SHIFT) | (
+        odds - o_base
+    ).astype(np.uint64)
+
+
+def _pack(evens: np.ndarray, odds: np.ndarray):
+    """(packed keys, e₀, o₀) for one array, or None when unpackable."""
+    if evens.size == 0:
+        return np.empty(0, dtype=np.uint64), 0, 0
+    bases = _pack_bases(evens, odds)
+    if bases is None:
+        return None
+    return _pack_rebased(evens, odds, *bases), bases[0], bases[1]
+
+
+def _pack_joint(a: np.ndarray, b: np.ndarray):
+    """Pack two flat pair arrays against shared rebase offsets.
+
+    Shared offsets keep the two key sets mutually comparable (merge and
+    intersection need one total order across both inputs).  Returns
+    (packed_a, packed_b, e₀, o₀) or None.
+    """
+    e_min = min(int(a[0::2].min()), int(b[0::2].min()))
+    e_max = max(int(a[0::2].max()), int(b[0::2].max()))
+    o_min = min(int(a[1::2].min()), int(b[1::2].min()))
+    o_max = max(int(a[1::2].max()), int(b[1::2].max()))
+    if e_max - e_min >= PACK_LIMIT or o_max - o_min >= PACK_LIMIT:
+        return None
+    return (
+        _pack_rebased(a[0::2], a[1::2], e_min, o_min),
+        _pack_rebased(b[0::2], b[1::2], e_min, o_min),
+        e_min,
+        o_min,
+    )
+
+
+def _unpack(packed: np.ndarray, e_base: int, o_base: int) -> np.ndarray:
+    """Packed uint64 keys → flat int64 pair array (offsets restored)."""
+    out = np.empty(2 * packed.size, dtype=INT64)
+    out[0::2] = (packed >> _SHIFT).astype(INT64)
+    out[0::2] += e_base
+    out[1::2] = (packed & _LOW_MASK).astype(INT64)
+    out[1::2] += o_base
+    return out
+
+
+def _rows(flat: np.ndarray) -> np.ndarray:
+    """Structured row view of a flat pair array (zero-copy)."""
+    return np.ascontiguousarray(flat).reshape(-1, 2).view(PAIR_DTYPE).ravel()
+
+
+def _interleave(evens: np.ndarray, odds: np.ndarray) -> np.ndarray:
+    out = np.empty(2 * evens.size, dtype=INT64)
+    out[0::2] = evens
+    out[1::2] = odds
+    return out
+
+
+def _group_starts(keys: np.ndarray) -> np.ndarray:
+    """Indices where a new key run begins in a sorted key vector."""
+    mask = np.empty(keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    return np.flatnonzero(mask)
+
+
+class NumpyKernels(KernelBackend):
+    """Vectorized ``int64`` ndarray kernels (see module docstring)."""
+
+    name = "numpy"
+
+    # -- representation -------------------------------------------------
+    def asarray(self, flat):
+        if isinstance(flat, np.ndarray):
+            if flat.dtype == INT64 and flat.ndim == 1:
+                return flat
+            return np.ascontiguousarray(flat, dtype=INT64).ravel()
+        if isinstance(flat, array) and flat.typecode == "q":
+            if not len(flat):
+                return np.empty(0, dtype=INT64)
+            # Zero-copy adoption via the buffer protocol; callers treat
+            # kernel inputs as read-only, so aliasing is safe.
+            return np.frombuffer(flat, dtype=INT64)
+        return np.asarray(list(flat), dtype=INT64)
+
+    def empty(self):
+        return np.empty(0, dtype=INT64)
+
+    def copy_flat(self, flat):
+        return np.array(self.asarray(flat), dtype=INT64)
+
+    def concat(self, chunks: Sequence):
+        parts = [self.asarray(chunk) for chunk in chunks if len(chunk)]
+        if not parts:
+            return self.empty()
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    # -- sorting & the Figure-5 merge -----------------------------------
+    def sort_pairs(self, flat, *, dedup: bool = True, algorithm: str = "auto"):
+        # `algorithm` picks among the scalar sorts; the vectorized sort
+        # has a single implementation, so it is accepted and ignored.
+        a = self.asarray(flat)
+        if a.size % 2:
+            raise SortingError(
+                f"pair array must have even length, got {a.size}"
+            )
+        if a.size == 0:
+            return self.empty()
+        evens = a[0::2]
+        odds = a[1::2]
+        packed_bases = _pack(evens, odds)
+        if packed_bases is not None:
+            packed, e_base, o_base = packed_bases
+            packed.sort()
+            if dedup and packed.size > 1:
+                keep = np.empty(packed.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(packed[1:], packed[:-1], out=keep[1:])
+                if not keep.all():
+                    packed = packed[keep]
+            return _unpack(packed, e_base, o_base)
+        order = np.lexsort((odds, evens))
+        evens = evens[order]
+        odds = odds[order]
+        if dedup and evens.size > 1:
+            keep = np.empty(evens.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(evens[1:], evens[:-1], out=keep[1:])
+            np.logical_or(keep[1:], odds[1:] != odds[:-1], out=keep[1:])
+            if not keep.all():
+                evens = evens[keep]
+                odds = odds[keep]
+        return _interleave(evens, odds)
+
+    def merge_new(self, main, inferred) -> Tuple[np.ndarray, np.ndarray]:
+        m = self.asarray(main)
+        f = self.asarray(inferred)
+        if f.size == 0:
+            return m, self.empty()
+        if m.size == 0:
+            fresh = np.array(f, dtype=INT64)
+            return fresh, np.array(f, dtype=INT64)
+        joint = _pack_joint(m, f)
+        if joint is not None:
+            main_keys, inf_keys, e_base, o_base = joint
+        else:
+            main_keys = _rows(m)
+            inf_keys = _rows(f)
+        positions = np.searchsorted(main_keys, inf_keys)
+        clipped = np.minimum(positions, main_keys.size - 1)
+        is_new = (positions == main_keys.size) | (main_keys[clipped] != inf_keys)
+        if not is_new.any():
+            return m, self.empty()
+        new_keys = inf_keys[is_new]
+        # Stable timsort over two concatenated sorted runs is O(n + m).
+        merged_keys = np.sort(
+            np.concatenate([main_keys, new_keys]), kind="stable"
+        )
+        if merged_keys.dtype == np.uint64:
+            return (
+                _unpack(merged_keys, e_base, o_base),
+                _unpack(new_keys, e_base, o_base),
+            )
+        merged = np.ascontiguousarray(merged_keys.view(INT64))
+        new = np.ascontiguousarray(new_keys.view(INT64))
+        return merged, new
+
+    # -- views ----------------------------------------------------------
+    def swap(self, flat):
+        a = self.asarray(flat)
+        return _interleave(a[1::2], a[0::2])
+
+    def os_view(self, sorted_pairs, *, algorithm: str = "auto"):
+        a = self.asarray(sorted_pairs)
+        if a.size == 0:
+            return self.empty()
+        subjects = a[0::2]
+        objects = a[1::2]
+        packed_bases = _pack(objects, subjects)
+        if packed_bases is not None:
+            packed, o_base, s_base = packed_bases
+            packed.sort()
+            return _unpack(packed, o_base, s_base)
+        order = np.lexsort((subjects, objects))
+        return _interleave(objects[order], subjects[order])
+
+    # -- join primitives ------------------------------------------------
+    def merge_join(self, view1, view2, *, swap: bool = False):
+        a = self.asarray(view1)
+        b = self.asarray(view2)
+        if a.size == 0 or b.size == 0:
+            return self.empty()
+        keys1 = a[0::2]
+        rest1 = a[1::2]
+        keys2 = b[0::2]
+        rest2 = b[1::2]
+        starts1 = _group_starts(keys1)
+        starts2 = _group_starts(keys2)
+        common, g1, g2 = np.intersect1d(
+            keys1[starts1], keys2[starts2],
+            assume_unique=True, return_indices=True,
+        )
+        if common.size == 0:
+            return self.empty()
+        counts1 = np.diff(np.append(starts1, keys1.size))[g1]
+        counts2 = np.diff(np.append(starts2, keys2.size))[g2]
+        sizes = counts1 * counts2
+        total = int(sizes.sum())
+        group = np.repeat(np.arange(common.size), sizes)
+        within = np.arange(total, dtype=INT64) - np.repeat(
+            np.cumsum(sizes) - sizes, sizes
+        )
+        left = rest1[starts1[g1][group] + within // counts2[group]]
+        right = rest2[starts2[g2][group] + within % counts2[group]]
+        if swap:
+            return _interleave(right, left)
+        return _interleave(left, right)
+
+    def intersect(self, view1, view2):
+        a = self.asarray(view1)
+        b = self.asarray(view2)
+        if a.size == 0 or b.size == 0:
+            return self.empty()
+        joint = _pack_joint(a, b)
+        if joint is not None:
+            keys_a, keys_b, e_base, o_base = joint
+        else:
+            keys_a = _rows(a)
+            keys_b = _rows(b)
+        positions = np.searchsorted(keys_b, keys_a)
+        clipped = np.minimum(positions, keys_b.size - 1)
+        found = (positions < keys_b.size) & (keys_b[clipped] == keys_a)
+        if keys_a.dtype == np.uint64:
+            return _unpack(keys_a[found], e_base, o_base)
+        return np.ascontiguousarray(keys_a[found].view(INT64))
+
+    def consecutive_in_group(self, view):
+        a = self.asarray(view)
+        keys = a[0::2]
+        values = a[1::2]
+        if keys.size < 2:
+            return self.empty()
+        mask = (keys[1:] == keys[:-1]) & (values[1:] != values[:-1])
+        return _interleave(values[:-1][mask], values[1:][mask])
+
+    # -- scans & lookups ------------------------------------------------
+    def distinct_evens(self, sorted_flat) -> Sequence[int]:
+        a = self.asarray(sorted_flat)
+        if a.size == 0:
+            return np.empty(0, dtype=INT64)
+        keys = a[0::2]
+        return keys[_group_starts(keys)]
+
+    def pair_with_constant(
+        self, values: Iterable[int], constant: int, *, constant_as_object: bool = True
+    ):
+        vals = (
+            values
+            if isinstance(values, np.ndarray)
+            else np.asarray(list(values), dtype=INT64)
+        )
+        if vals.size == 0:
+            return self.empty()
+        const = np.full(vals.size, constant, dtype=INT64)
+        if constant_as_object:
+            return _interleave(vals, const)
+        return _interleave(const, vals)
+
+    def key_slice(self, sorted_flat, key: int) -> Tuple[int, int]:
+        a = self.asarray(sorted_flat)
+        evens = a[0::2]
+        start = int(np.searchsorted(evens, key, side="left"))
+        end = int(np.searchsorted(evens, key, side="right"))
+        return start, end
+
+
+#: Shared stateless instance.
+NUMPY_KERNELS = NumpyKernels()

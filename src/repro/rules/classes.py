@@ -6,6 +6,14 @@ concrete vocabulary constants.  All joins are sort-merge joins over the
 ⟨s, o⟩ tables and their cached ⟨o, s⟩ views, exactly as described for
 CAX-SCO in the paper's Figure 4.
 
+The bulk passes — the merge joins themselves, pair intersections,
+component swaps, distinct-key scans and the functional-property
+conflict scan — execute on the engine's kernel backend
+(``ctx.kernels``; see :mod:`repro.kernels`), so rule firing is
+vectorized end to end under the NumPy backend: a join produces one flat
+pair array that is handed to the output buffers as a single chunk,
+never one Python-level ``emit`` per derived triple.
+
 Semi-naive evaluation: every executor joins (new × main) ∪ (main × new);
 since ``main ⊇ new`` after the Figure-5 merge, this covers every
 derivation involving at least one new triple, and (new × new) being
@@ -14,7 +22,6 @@ covered twice only produces duplicates that the merge removes.
 
 from __future__ import annotations
 
-from array import array
 from typing import Callable, List, Sequence
 
 from .spec import Rule, RuleContext, table_or_none
@@ -33,6 +40,9 @@ def merge_join_groups(
 
     For every key present in both views, ``callback`` receives the lists
     of odd-position companions (the "rest" variables) from each side.
+    Kept as the callback-style reference primitive (and for callers that
+    need per-key control); bulk rule execution uses the kernel
+    backends' ``merge_join`` instead.
     """
     i = j = 0
     n1 = len(view1)
@@ -57,14 +67,6 @@ def merge_join_groups(
             )
             i = i_end
             j = j_end
-
-
-def _reversed_pairs(flat) -> array:
-    """Swap the components of a flat pair array (for inverse heads)."""
-    swapped = array("q", bytes(8 * len(flat)))
-    swapped[0::2] = flat[1::2]
-    swapped[1::2] = flat[0::2]
-    return swapped
 
 
 class AlphaRule(Rule):
@@ -103,10 +105,10 @@ class AlphaRule(Rule):
         self.head_object = head_object
 
     def apply(self, ctx: RuleContext) -> None:
+        kernels = ctx.kernels
         pid1 = ctx.vocab[self.p1]
         pid2 = ctx.vocab[self.p2]
         out_pid = ctx.vocab[self.out]
-        emit = ctx.out.emit
         subject_first = self.head_subject == "r1"
         emitted = 0
 
@@ -117,20 +119,10 @@ class AlphaRule(Rule):
                 continue
             view1 = table1.pairs if self.pos1 == "s" else table1.os_pairs()
             view2 = table2.pairs if self.pos2 == "s" else table2.os_pairs()
-
-            def on_match(rest1: List[int], rest2: List[int]) -> None:
-                nonlocal emitted
-                if subject_first:
-                    for r1 in rest1:
-                        for r2 in rest2:
-                            emit(out_pid, r1, r2)
-                else:
-                    for r1 in rest1:
-                        for r2 in rest2:
-                            emit(out_pid, r2, r1)
-                emitted += len(rest1) * len(rest2)
-
-            merge_join_groups(view1, view2, on_match)
+            joined = kernels.merge_join(view1, view2, swap=not subject_first)
+            if len(joined):
+                ctx.out.extend(out_pid, joined)
+                emitted += len(joined) // 2
         ctx.count(self.name, emitted)
 
 
@@ -151,33 +143,18 @@ class BetaRule(Rule):
         self.out = out
 
     def apply(self, ctx: RuleContext) -> None:
+        kernels = ctx.kernels
         pid = ctx.vocab[self.prop]
         out_pid = ctx.vocab[self.out]
         new_table = table_or_none(ctx.new, pid)
         main_table = table_or_none(ctx.main, pid)
         if new_table is None or main_table is None:
             return
-        view1 = new_table.pairs
-        view2 = main_table.os_pairs()
-        emit = ctx.out.emit
-        emitted = 0
-        i = j = 0
-        n1 = len(view1)
-        n2 = len(view2)
-        while i < n1 and j < n2:
-            key1 = (view1[i], view1[i + 1])
-            key2 = (view2[j], view2[j + 1])
-            if key1 < key2:
-                i += 2
-            elif key1 > key2:
-                j += 2
-            else:
-                emit(out_pid, key1[0], key1[1])
-                emit(out_pid, key1[1], key1[0])
-                emitted += 2
-                i += 2
-                j += 2
-        ctx.count(self.name, emitted)
+        mutual = kernels.intersect(new_table.pairs, main_table.os_pairs())
+        if len(mutual):
+            ctx.out.extend(out_pid, mutual)
+            ctx.out.extend(out_pid, kernels.swap(mutual))
+        ctx.count(self.name, len(mutual))
 
 
 class PropertyCopyRule(Rule):
@@ -205,7 +182,7 @@ class PropertyCopyRule(Rule):
             return 0
         pairs = table.pairs
         if self.reverse:
-            ctx.out.extend(dst, _reversed_pairs(pairs))
+            ctx.out.extend(dst, ctx.kernels.swap(pairs))
         else:
             ctx.out.extend(dst, pairs)
         return len(pairs) // 2
@@ -247,14 +224,16 @@ class DomainRangeRule(Rule):
         table = table_or_none(store, p)
         if table is None:
             return 0
-        type_pid = ctx.vocab.type
-        emit = ctx.out.emit
+        kernels = ctx.kernels
         if self.use_subjects:
-            members = table.distinct_subjects()
+            members = kernels.distinct_evens(table.pairs)
         else:
-            members = table.distinct_objects()
-        for member in members:
-            emit(type_pid, member, c)
+            members = kernels.distinct_evens(table.os_pairs())
+        if not len(members):
+            return 0
+        ctx.out.extend(
+            ctx.vocab.type, kernels.pair_with_constant(members, c)
+        )
         return len(members)
 
     def apply(self, ctx: RuleContext) -> None:
@@ -288,14 +267,14 @@ class SymmetricPropertyRule(Rule):
             for p in new_types.subjects_of(marker):
                 table = table_or_none(ctx.main, p)
                 if table is not None:
-                    ctx.out.extend(p, _reversed_pairs(table.pairs))
+                    ctx.out.extend(p, ctx.kernels.swap(table.pairs))
                     emitted += table.n_pairs
         main_types = table_or_none(ctx.main, vocab.type)
         if main_types is not None:
             for p in main_types.subjects_of(marker):
                 table = table_or_none(ctx.new, p)
                 if table is not None:
-                    ctx.out.extend(p, _reversed_pairs(table.pairs))
+                    ctx.out.extend(p, ctx.kernels.swap(table.pairs))
                     emitted += table.n_pairs
         ctx.count(self.name, emitted)
 
@@ -334,7 +313,6 @@ class FunctionalPropertyRule(Rule):
             set(new_types.subjects_of(marker)) if new_types is not None else set()
         )
         sameas_pid = vocab.sameAs
-        emit = ctx.out.emit
         emitted = 0
         for p in marked:
             changed = p in newly_marked or table_or_none(ctx.new, p) is not None
@@ -344,20 +322,10 @@ class FunctionalPropertyRule(Rule):
             if table is None:
                 continue
             view = table.os_pairs() if self.inverse else table.pairs
-            i = 0
-            n = len(view)
-            while i < n:
-                key = view[i]
-                previous = None
-                j = i
-                while j < n and view[j] == key:
-                    value = view[j + 1]
-                    if previous is not None and value != previous:
-                        emit(sameas_pid, previous, value)
-                        emitted += 1
-                    previous = value
-                    j += 2
-                i = j
+            conflicts = ctx.kernels.consecutive_in_group(view)
+            if len(conflicts):
+                ctx.out.extend(sameas_pid, conflicts)
+                emitted += len(conflicts) // 2
         ctx.count(self.name, emitted)
 
 
@@ -378,6 +346,7 @@ class SameAsRule(Rule):
 
     def apply(self, ctx: RuleContext) -> None:
         vocab = ctx.vocab
+        kernels = ctx.kernels
         sameas_pid = vocab.sameAs
         emit = ctx.out.emit
         emitted = 0
@@ -395,23 +364,18 @@ class SameAsRule(Rule):
                     emitted += table_b.n_pairs
             for pid in ctx.main.property_ids():
                 table = ctx.main.table(pid)
-
-                def on_subject(rest_a: List[int], rest_o: List[int]) -> None:
-                    nonlocal emitted
-                    for a in rest_a:
-                        for o in rest_o:
-                            emit(pid, a, o)
-                    emitted += len(rest_a) * len(rest_o)
-
-                def on_object(rest_a: List[int], rest_s: List[int]) -> None:
-                    nonlocal emitted
-                    for a in rest_a:
-                        for s in rest_s:
-                            emit(pid, s, a)
-                    emitted += len(rest_a) * len(rest_s)
-
-                merge_join_groups(sa_by_object, table.pairs, on_subject)
-                merge_join_groups(sa_by_object, table.os_pairs(), on_object)
+                # EQ-REP-S: ⟨b, p, o⟩ ∧ sameAs(a, b) → ⟨a, p, o⟩.
+                substituted = kernels.merge_join(sa_by_object, table.pairs)
+                if len(substituted):
+                    ctx.out.extend(pid, substituted)
+                    emitted += len(substituted) // 2
+                # EQ-REP-O: ⟨s, p, b⟩ ∧ sameAs(a, b) → ⟨s, p, a⟩.
+                substituted = kernels.merge_join(
+                    sa_by_object, table.os_pairs(), swap=True
+                )
+                if len(substituted):
+                    ctx.out.extend(pid, substituted)
+                    emitted += len(substituted) // 2
 
         # Direction 2: all sameAs pairs × new data.
         main_sa = table_or_none(ctx.main, sameas_pid)
@@ -535,7 +499,6 @@ class IterativeTransitivityRule(Rule):
 
     def apply(self, ctx: RuleContext) -> None:
         pid = ctx.vocab[self.prop]
-        emit = ctx.out.emit
         emitted = 0
         for left_store, right_store in (
             (ctx.new, ctx.main),
@@ -545,16 +508,11 @@ class IterativeTransitivityRule(Rule):
             right = table_or_none(right_store, pid)
             if left is None or right is None:
                 continue
-
-            def on_match(rest_a: List[int], rest_c: List[int]) -> None:
-                nonlocal emitted
-                for a in rest_a:
-                    for c in rest_c:
-                        emit(pid, a, c)
-                emitted += len(rest_a) * len(rest_c)
-
             # join var b: object of the left pattern, subject of the right.
-            merge_join_groups(left.os_pairs(), right.pairs, on_match)
+            joined = ctx.kernels.merge_join(left.os_pairs(), right.pairs)
+            if len(joined):
+                ctx.out.extend(pid, joined)
+                emitted += len(joined) // 2
         ctx.count(self.name, emitted)
 
 
@@ -642,16 +600,21 @@ class ResourceRule(Rule):
 
     def apply(self, ctx: RuleContext) -> None:
         vocab = ctx.vocab
+        kernels = ctx.kernels
         type_pid = vocab.type
         resource = vocab.Resource
-        emit = ctx.out.emit
         emitted = 0
         for pid in ctx.new.property_ids():
             table = ctx.new.table(pid)
-            for x in table.distinct_subjects():
-                emit(type_pid, x, resource)
-                emitted += 1
-            for y in table.distinct_objects():
-                emit(type_pid, y, resource)
-                emitted += 1
+            subjects = kernels.distinct_evens(table.pairs)
+            objects = kernels.distinct_evens(table.os_pairs())
+            if len(subjects):
+                ctx.out.extend(
+                    type_pid, kernels.pair_with_constant(subjects, resource)
+                )
+            if len(objects):
+                ctx.out.extend(
+                    type_pid, kernels.pair_with_constant(objects, resource)
+                )
+            emitted += len(subjects) + len(objects)
         ctx.count(self.name, emitted)

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..dictionary.encoding import Dictionary
+from ..kernels import KernelBackend
+from ..kernels.python_backend import PYTHON_KERNELS
 from ..rdf.vocabulary import OWL, RDF, RDFS
 from ..store.triple_store import InferredBuffers, TripleStore
 
@@ -94,6 +96,9 @@ class RuleContext:
     iteration: int = 1
     theta_prepass_done: bool = False
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Kernel backend rule executors run their bulk passes on; the
+    #: engine passes its own, the default is the pure-Python reference.
+    kernels: KernelBackend = field(default=PYTHON_KERNELS)
 
     def count(self, rule_name: str, emitted: int) -> None:
         """Accumulate per-rule emission counters (observability)."""

@@ -12,6 +12,11 @@ The Figure-5 update step lives here as :meth:`PropertyTable.merge`: the
 already sorted+deduplicated inferred pairs are merged with the main
 pairs in one linear pass that simultaneously produces the updated main
 table and the ``new`` table (inferred pairs that were not already known).
+
+Every pass over the pair data — commit sort, the Figure-5 merge, the
+⟨o, s⟩ view — executes on a pluggable :class:`repro.kernels.KernelBackend`
+(pure-Python reference loops or vectorized NumPy), so the table's flat
+array is whatever type the backend works on natively.
 """
 
 from __future__ import annotations
@@ -19,12 +24,12 @@ from __future__ import annotations
 from array import array
 from typing import Iterator, List, Optional, Tuple, Union
 
-from ..sorting.dispatch import sort_pairs
+from ..kernels import KernelBackend, resolve_backend
 
 PairArray = array
 
 
-def pairs_as_tuples(flat: PairArray) -> List[Tuple[int, int]]:
+def pairs_as_tuples(flat) -> List[Tuple[int, int]]:
     """Debug/test helper: flat layout → list of (first, second) tuples."""
     return list(zip(flat[0::2], flat[1::2]))
 
@@ -36,20 +41,29 @@ class PropertyTable:
     ----------
     pairs:
         Optional initial flat pair data (need not be sorted; it is
-        committed through the sorting dispatcher).
+        committed through the backend's sort kernel).
     algorithm:
-        Sorting backend forwarded to :func:`repro.sorting.sort_pairs`
-        ('auto' applies the paper's operating-range policy).
+        Scalar sorting backend forwarded to the pure-Python kernels
+        ('auto' applies the paper's operating-range policy; forcing one
+        also pins backend='auto' to the pure-Python kernels).
     tracer:
         Optional :class:`repro.memsim.tracer.Tracer`; when set, the
         table reports its sequential scans and writes so the memory
         simulator can replay them (see DESIGN.md, Figures 7–8).
+    backend:
+        Kernel backend name ('auto', 'python', 'numpy') or a
+        :class:`~repro.kernels.KernelBackend` instance.
+    presorted:
+        The initial ``pairs`` are already sorted-unique in the
+        backend's native representation; skip the commit sort (used for
+        delta tables built from Figure-5 merge output).
     """
 
     __slots__ = (
         "_pairs",
         "_os_cache",
         "_algorithm",
+        "_kernels",
         "tracer",
         "_trace_id",
         "cache_os",
@@ -63,17 +77,29 @@ class PropertyTable:
         tracer=None,
         trace_id: int = 0,
         cache_os: bool = True,
+        backend: Union[str, KernelBackend] = "auto",
+        presorted: bool = False,
     ):
         self._algorithm = algorithm
+        self._kernels = resolve_backend(backend, algorithm=algorithm)
         self.tracer = tracer
         self._trace_id = trace_id
         self.cache_os = cache_os
-        self._os_cache: Optional[PairArray] = None
+        self._os_cache = None
         if pairs is None or not len(pairs):
-            self._pairs = array("q")
+            self._pairs = self._kernels.empty()
+        elif presorted:
+            self._pairs = self._kernels.asarray(pairs)
         else:
-            self._pairs, _ = sort_pairs(pairs, dedup=True, algorithm=algorithm)
+            self._pairs = self._kernels.sort_pairs(
+                pairs, dedup=True, algorithm=algorithm
+            )
             self._trace_sort(len(self._pairs) // 2)
+
+    @property
+    def kernels(self) -> KernelBackend:
+        """The kernel backend this table executes on."""
+        return self._kernels
 
     # ------------------------------------------------------------------
     # Tracing (one call per table-level operation; memsim expands these
@@ -91,7 +117,7 @@ class PropertyTable:
     # Views
     # ------------------------------------------------------------------
     @property
-    def pairs(self) -> PairArray:
+    def pairs(self):
         """The committed flat ⟨s, o⟩ array (do not mutate)."""
         return self._pairs
 
@@ -104,9 +130,9 @@ class PropertyTable:
         return self.n_pairs
 
     def __bool__(self) -> bool:
-        return bool(self._pairs)
+        return len(self._pairs) > 0
 
-    def os_pairs(self) -> PairArray:
+    def os_pairs(self):
         """The ⟨o, s⟩-sorted view (object at even indices), lazily cached.
 
         The view is a *permutation* of the table with components swapped
@@ -117,10 +143,7 @@ class PropertyTable:
         """
         if self._os_cache is not None:
             return self._os_cache
-        swapped = array("q", bytes(8 * len(self._pairs)))
-        swapped[0::2] = self._pairs[1::2]
-        swapped[1::2] = self._pairs[0::2]
-        view, _ = sort_pairs(swapped, dedup=False, algorithm=self._algorithm)
+        view = self._kernels.os_view(self._pairs, algorithm=self._algorithm)
         self._trace_sort(self.n_pairs)
         if self.cache_os:
             self._os_cache = view
@@ -157,7 +180,7 @@ class PropertyTable:
 
     def subject_slice(self, subject: int) -> Tuple[int, int]:
         """Pair-index range [start, end) of rows with this subject."""
-        return _key_slice(self._pairs, subject)
+        return self._kernels.key_slice(self._pairs, subject)
 
     def objects_of(self, subject: int) -> List[int]:
         """All objects paired with ``subject`` (sorted)."""
@@ -167,42 +190,28 @@ class PropertyTable:
     def subjects_of(self, obj: int) -> List[int]:
         """All subjects paired with ``obj`` (sorted; uses the o-s view)."""
         view = self.os_pairs()
-        start, end = _key_slice(view, obj)
+        start, end = self._kernels.key_slice(view, obj)
         return [view[2 * i + 1] for i in range(start, end)]
 
     def iter_pairs(self) -> Iterator[Tuple[int, int]]:
         """Iterate ⟨s, o⟩ tuples in sorted order."""
-        pairs = self._pairs
-        for i in range(0, len(pairs), 2):
-            yield pairs[i], pairs[i + 1]
+        # tolist() exists on both array('q') and ndarray and converts
+        # to plain ints in one pass — much faster than element access.
+        flat = self._pairs.tolist()
+        return zip(flat[0::2], flat[1::2])
 
     def distinct_subjects(self) -> List[int]:
         """Sorted distinct subjects."""
-        out: List[int] = []
-        previous = None
-        for i in range(0, len(self._pairs), 2):
-            subject = self._pairs[i]
-            if subject != previous:
-                out.append(subject)
-                previous = subject
-        return out
+        return list(self._kernels.distinct_evens(self._pairs))
 
     def distinct_objects(self) -> List[int]:
         """Sorted distinct objects (uses the o-s view)."""
-        view = self.os_pairs()
-        out: List[int] = []
-        previous = None
-        for i in range(0, len(view), 2):
-            obj = view[i]
-            if obj != previous:
-                out.append(obj)
-                previous = obj
-        return out
+        return list(self._kernels.distinct_evens(self.os_pairs()))
 
     # ------------------------------------------------------------------
     # Figure-5 update
     # ------------------------------------------------------------------
-    def merge(self, inferred_sorted: PairArray) -> PairArray:
+    def merge(self, inferred_sorted):
         """Merge sorted+deduplicated inferred pairs; return the new ones.
 
         One linear pass implements both steps of Figure 5: ``main`` is
@@ -211,48 +220,13 @@ class PropertyTable:
         that feed the next iteration.  The ⟨o, s⟩ cache is invalidated
         when anything new arrived.
         """
-        main = self._pairs
         if not len(inferred_sorted):
-            return array("q")
-        if not len(main):
-            self._pairs = array("q", inferred_sorted)
-            self._os_cache = None
-            self._trace_scan(len(inferred_sorted) // 2)
-            return array("q", inferred_sorted)
-
-        merged = array("q")
-        new = array("q")
-        i = 0
-        j = 0
-        len_main = len(main)
-        len_inf = len(inferred_sorted)
-        while i < len_main and j < len_inf:
-            main_key = (main[i], main[i + 1])
-            inf_key = (inferred_sorted[j], inferred_sorted[j + 1])
-            if main_key < inf_key:
-                merged.append(main_key[0])
-                merged.append(main_key[1])
-                i += 2
-            elif main_key > inf_key:
-                merged.append(inf_key[0])
-                merged.append(inf_key[1])
-                new.append(inf_key[0])
-                new.append(inf_key[1])
-                j += 2
-            else:  # duplicate: keep once, not new
-                merged.append(main_key[0])
-                merged.append(main_key[1])
-                i += 2
-                j += 2
-        if i < len_main:
-            merged.extend(main[i:])
-        if j < len_inf:
-            merged.extend(inferred_sorted[j:])
-            new.extend(inferred_sorted[j:])
-
-        self._trace_scan((len_main + len_inf) // 2)
+            return self._kernels.empty()
+        merged, new = self._kernels.merge_new(self._pairs, inferred_sorted)
+        self._trace_scan((len(self._pairs) + len(inferred_sorted)) // 2)
         self._pairs = merged
         if len(new):
+            # The cached ⟨o, s⟩ permutation no longer covers the table.
             self._os_cache = None
         return new
 
@@ -271,26 +245,3 @@ class PropertyTable:
         if self._os_cache is not None:
             total += 8 * len(self._os_cache)
         return total
-
-
-def _key_slice(flat: PairArray, key: int) -> Tuple[int, int]:
-    """[start, end) pair-index range of rows whose even-component == key."""
-    n_pairs = len(flat) // 2
-    # Lower bound.
-    low, high = 0, n_pairs
-    while low < high:
-        mid = (low + high) // 2
-        if flat[2 * mid] < key:
-            low = mid + 1
-        else:
-            high = mid
-    start = low
-    # Upper bound.
-    high = n_pairs
-    while low < high:
-        mid = (low + high) // 2
-        if flat[2 * mid] <= key:
-            low = mid + 1
-        else:
-            high = mid
-    return start, low

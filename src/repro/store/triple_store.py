@@ -10,17 +10,19 @@ non-promoted ids discussed in DESIGN.md §6.
 The store exposes the three-store workflow of Algorithm 1:
 ``main`` and ``new`` are TripleStores, while the per-iteration
 ``inferred`` triples accumulate in an :class:`InferredBuffers` (raw
-unsorted append-only arrays, one per property, mirroring the paper's
-per-rule output tables).
+unsorted append-only buffers, one per property, mirroring the paper's
+per-rule output tables).  All bulk passes (sort+dedup commits and the
+Figure-5 merges) run on the store's kernel backend
+(:mod:`repro.kernels`).
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..dictionary.encoding import EncodedTriple
-from ..sorting.dispatch import sort_pairs
+from ..kernels import KernelBackend, resolve_backend
 from .property_table import PairArray, PropertyTable
 
 
@@ -28,55 +30,104 @@ class InferredBuffers:
     """Per-property unsorted output buffers for one rule-firing round.
 
     Rules emit raw ⟨s, o⟩ pairs here; the buffers get sorted and
-    deduplicated once per iteration (Figure 5, first step).
+    deduplicated once per iteration (Figure 5, first step).  Scalar
+    ``emit`` calls append to a per-property tail array; bulk ``extend``
+    calls keep a *reference* to the chunk instead of copying it (tables
+    never mutate their committed arrays in place, so aliasing is safe)
+    — the chunks are concatenated by the consuming backend right before
+    the sort.
     """
 
-    __slots__ = ("_buffers",)
+    __slots__ = ("_tails", "_chunks")
 
     def __init__(self) -> None:
-        self._buffers: Dict[int, PairArray] = {}
+        self._tails: Dict[int, PairArray] = {}
+        self._chunks: Dict[int, List] = {}
 
     def emit(self, property_id: int, subject: int, obj: int) -> None:
         """Append one inferred ⟨s, o⟩ pair for a property."""
-        buffer = self._buffers.get(property_id)
-        if buffer is None:
-            buffer = array("q")
-            self._buffers[property_id] = buffer
-        buffer.append(subject)
-        buffer.append(obj)
+        tail = self._tails.get(property_id)
+        if tail is None:
+            tail = array("q")
+            self._tails[property_id] = tail
+        tail.append(subject)
+        tail.append(obj)
 
-    def extend(self, property_id: int, flat_pairs: PairArray) -> None:
-        """Append many raw pairs at once."""
+    def extend(self, property_id: int, flat_pairs) -> None:
+        """Append many raw pairs at once (zero-copy chunk reference)."""
         if not len(flat_pairs):
             return
-        buffer = self._buffers.get(property_id)
-        if buffer is None:
-            buffer = array("q")
-            self._buffers[property_id] = buffer
-        buffer.extend(flat_pairs)
+        chunks = self._chunks.get(property_id)
+        if chunks is None:
+            chunks = []
+            self._chunks[property_id] = chunks
+        chunks.append(flat_pairs)
+
+    def chunk_items(self) -> Iterator[Tuple[int, List]]:
+        """(property_id, [raw chunks…]) for every touched property."""
+        for property_id in sorted(self._tails.keys() | self._chunks.keys()):
+            chunks: List = []
+            tail = self._tails.get(property_id)
+            if tail is not None and len(tail):
+                chunks.append(tail)
+            chunks.extend(self._chunks.get(property_id, ()))
+            if chunks:
+                yield property_id, chunks
 
     def items(self) -> Iterator[Tuple[int, PairArray]]:
-        """(property_id, raw pair buffer) for every touched property."""
-        return iter(self._buffers.items())
+        """(property_id, concatenated raw pair buffer) per property.
+
+        Compatibility view over :meth:`chunk_items` that materialises
+        one flat ``array('q')`` per property.
+        """
+        for property_id, chunks in self.chunk_items():
+            flat = array("q")
+            for chunk in chunks:
+                if isinstance(chunk, array) and chunk.typecode == "q":
+                    flat.extend(chunk)
+                else:
+                    flat.extend(int(value) for value in chunk)
+            yield property_id, flat
 
     def __len__(self) -> int:
         """Total number of raw (pre-dedup) pairs buffered."""
-        return sum(len(buf) for buf in self._buffers.values()) // 2
+        total = sum(len(tail) for tail in self._tails.values())
+        total += sum(
+            len(chunk)
+            for chunks in self._chunks.values()
+            for chunk in chunks
+        )
+        return total // 2
 
     def __bool__(self) -> bool:
-        return any(len(buf) for buf in self._buffers.values())
+        return any(len(tail) for tail in self._tails.values()) or any(
+            len(chunk)
+            for chunks in self._chunks.values()
+            for chunk in chunks
+        )
 
 
 class TripleStore:
     """Property-id → PropertyTable mapping with bulk loading and queries."""
 
     def __init__(
-        self, *, algorithm: str = "auto", tracer=None, cache_os: bool = True
+        self,
+        *,
+        algorithm: str = "auto",
+        tracer=None,
+        cache_os: bool = True,
+        backend: Union[str, KernelBackend] = "auto",
     ):
         self._tables: Dict[int, PropertyTable] = {}
         self._algorithm = algorithm
+        self._kernels = resolve_backend(backend, algorithm=algorithm)
         self.tracer = tracer
         self.cache_os = cache_os
+
+    @property
+    def kernels(self) -> KernelBackend:
+        """The kernel backend this store executes on."""
+        return self._kernels
 
     # ------------------------------------------------------------------
     # Table access
@@ -89,14 +140,20 @@ class TripleStore:
         """The table for a property, creating an empty one if missing."""
         table = self._tables.get(property_id)
         if table is None:
-            table = PropertyTable(
-                algorithm=self._algorithm,
-                tracer=self.tracer,
-                trace_id=property_id,
-                cache_os=self.cache_os,
-            )
+            table = self._new_table(property_id)
             self._tables[property_id] = table
         return table
+
+    def _new_table(self, property_id: int, pairs=None, *, presorted=False):
+        return PropertyTable(
+            pairs,
+            algorithm=self._algorithm,
+            tracer=self.tracer,
+            trace_id=property_id,
+            cache_os=self.cache_os,
+            backend=self._kernels,
+            presorted=presorted,
+        )
 
     def property_ids(self) -> List[int]:
         """Ids of all non-empty properties."""
@@ -121,38 +178,21 @@ class TripleStore:
             buffer.append(subject)
             buffer.append(obj)
         for property_id, buffer in staging.items():
-            existing = self._tables.get(property_id)
-            if existing is not None and existing:
-                sorted_pairs, _ = sort_pairs(
-                    buffer, dedup=True, algorithm=self._algorithm
-                )
-                existing.merge(sorted_pairs)
-            else:
-                self._tables[property_id] = PropertyTable(
-                    buffer,
-                    algorithm=self._algorithm,
-                    tracer=self.tracer,
-                    trace_id=property_id,
-                    cache_os=self.cache_os,
-                )
+            self.add_pairs(property_id, buffer)
 
-    def add_pairs(self, property_id: int, flat_pairs: PairArray) -> None:
+    def add_pairs(self, property_id: int, flat_pairs) -> None:
         """Bulk-load raw pairs for one property."""
         if not len(flat_pairs):
             return
         existing = self._tables.get(property_id)
         if existing is not None and existing:
-            sorted_pairs, _ = sort_pairs(
+            sorted_pairs = self._kernels.sort_pairs(
                 flat_pairs, dedup=True, algorithm=self._algorithm
             )
             existing.merge(sorted_pairs)
         else:
-            self._tables[property_id] = PropertyTable(
-                flat_pairs,
-                algorithm=self._algorithm,
-                tracer=self.tracer,
-                trace_id=property_id,
-                cache_os=self.cache_os,
+            self._tables[property_id] = self._new_table(
+                property_id, flat_pairs
             )
 
     # ------------------------------------------------------------------
@@ -169,22 +209,18 @@ class TripleStore:
             algorithm=self._algorithm,
             tracer=self.tracer,
             cache_os=self.cache_os,
+            backend=self._kernels,
         )
-        for property_id, buffer in inferred.items():
-            if not len(buffer):
-                continue
-            sorted_pairs, _ = sort_pairs(
-                buffer, dedup=True, algorithm=self._algorithm
+        for property_id, chunks in inferred.chunk_items():
+            flat = self._kernels.concat(chunks)
+            sorted_pairs = self._kernels.sort_pairs(
+                flat, dedup=True, algorithm=self._algorithm
             )
             table = self.get_or_create(property_id)
             new_pairs = table.merge(sorted_pairs)
             if len(new_pairs):
-                new_store._tables[property_id] = PropertyTable(
-                    new_pairs,
-                    algorithm=self._algorithm,
-                    tracer=self.tracer,
-                    trace_id=property_id,
-                    cache_os=self.cache_os,
+                new_store._tables[property_id] = new_store._new_table(
+                    property_id, new_pairs, presorted=True
                 )
         return new_store
 
@@ -249,14 +285,13 @@ class TripleStore:
             algorithm=self._algorithm,
             tracer=self.tracer,
             cache_os=self.cache_os,
+            backend=self._kernels,
         )
         for property_id, table in self._tables.items():
-            out._tables[property_id] = PropertyTable(
-                array("q", table.pairs),
-                algorithm=self._algorithm,
-                tracer=self.tracer,
-                trace_id=property_id,
-                cache_os=self.cache_os,
+            out._tables[property_id] = out._new_table(
+                property_id,
+                self._kernels.copy_flat(table.pairs),
+                presorted=True,
             )
         return out
 

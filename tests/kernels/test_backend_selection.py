@@ -1,0 +1,112 @@
+"""Backend selection policy, env knobs, and end-to-end threading."""
+
+import pytest
+
+from repro.core.engine import InferrayEngine
+from repro.kernels import (
+    BACKEND_NAMES,
+    KernelUnavailableError,
+    get_backend,
+    numpy_available,
+    resolve_backend,
+)
+from repro.kernels.python_backend import PYTHON_KERNELS
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not available"
+)
+
+
+class TestResolvePolicy:
+    def test_python_always_available(self):
+        assert get_backend("python") is PYTHON_KERNELS
+        assert resolve_backend("python").name == "python"
+
+    def test_instance_passthrough(self):
+        assert resolve_backend(PYTHON_KERNELS) is PYTHON_KERNELS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KernelUnavailableError):
+            get_backend("cupy")
+
+    def test_forced_scalar_algorithm_pins_python(self):
+        # counting/radix/timsort ablations are only observable on the
+        # interpreted backend; 'auto' must not route them to numpy.
+        assert resolve_backend("auto", algorithm="counting").name == "python"
+        assert resolve_backend("auto", algorithm="radix").name == "python"
+
+    @requires_numpy
+    def test_auto_prefers_numpy(self):
+        assert resolve_backend("auto").name == "numpy"
+        assert resolve_backend(None).name == "numpy"
+
+    @requires_numpy
+    def test_env_disable_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS_DISABLE_NUMPY", "1")
+        assert not numpy_available()
+        assert resolve_backend("auto").name == "python"
+        with pytest.raises(KernelUnavailableError):
+            get_backend("numpy")
+
+    @requires_numpy
+    def test_env_default_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "python")
+        assert resolve_backend("auto").name == "python"
+        # explicit names beat the env default
+        assert resolve_backend("numpy").name == "numpy"
+
+    @requires_numpy
+    def test_forced_algorithm_beats_env_numpy_default(self, monkeypatch):
+        # The ablation pin must hold even when the environment defaults
+        # the kernels to numpy.
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        assert resolve_backend("auto", algorithm="counting").name == "python"
+
+    @requires_numpy
+    def test_explicit_numpy_with_forced_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="scalar-sort ablation"):
+            resolve_backend("numpy", algorithm="counting")
+        with pytest.raises(ValueError, match="scalar-sort ablation"):
+            InferrayEngine("rho-df", backend="numpy", algorithm="radix")
+
+    def test_backend_names_exported(self):
+        assert set(BACKEND_NAMES) == {"auto", "python", "numpy"}
+
+
+class TestEngineThreading:
+    def test_engine_exposes_backend(self):
+        engine = InferrayEngine("rho-df", backend="python")
+        assert engine.kernels.name == "python"
+        assert engine.main.kernels is engine.kernels
+
+    @requires_numpy
+    def test_engine_numpy_backend_reaches_tables(self):
+        from repro.rdf.terms import IRI, Triple
+        from repro.rdf.vocabulary import RDF, RDFS
+
+        engine = InferrayEngine("rdfs-default", backend="numpy")
+        engine.load_triples(
+            [
+                Triple(IRI("ex:h"), RDFS.subClassOf, IRI("ex:m")),
+                Triple(IRI("ex:b"), RDF.type, IRI("ex:h")),
+            ]
+        )
+        engine.materialize()
+        assert engine.kernels.name == "numpy"
+        for pid in engine.main.property_ids():
+            assert engine.main.table(pid).kernels.name == "numpy"
+        assert Triple(IRI("ex:b"), RDF.type, IRI("ex:m")) in set(
+            engine.triples()
+        )
+
+    def test_cli_accepts_backend_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        nt = tmp_path / "tiny.nt"
+        nt.write_text(
+            "<ex:a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> "
+            "<ex:b> .\n"
+        )
+        assert main(["stats", str(nt), "--backend", "python"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel backend:    python" in out

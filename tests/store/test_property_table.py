@@ -2,10 +2,15 @@
 
 from array import array
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.kernels import numpy_available
 from repro.store.property_table import PropertyTable, pairs_as_tuples
+from repro.store.triple_store import TripleStore
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
 
 
 def flat(pairs):
@@ -134,6 +139,56 @@ class TestFigureFiveMerge:
         new = t.merge(flat([(1, 1), (2, 2)]))
         assert len(new) == 0
         assert t.n_pairs == 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestOsCacheInvalidationRegression:
+    """Regression: a stale ⟨o, s⟩ cache must never be served (ISSUE 1).
+
+    The cache is built lazily; every path that grows the table after
+    the cache exists (direct Figure-5 merge, store-level bulk adds,
+    merges into previously-empty tables) has to either invalidate or
+    rebuild it — the assertions check the *content* of the served
+    view, not just the ``has_os_cache`` flag.
+    """
+
+    def test_direct_merge_refreshes_view(self, backend):
+        t = PropertyTable(flat([(1, 2), (3, 4)]), backend=backend)
+        assert pairs_as_tuples(t.os_pairs()) == [(2, 1), (4, 3)]
+        t.merge(flat([(5, 6)]))
+        assert pairs_as_tuples(t.os_pairs()) == [(2, 1), (4, 3), (6, 5)]
+
+    def test_merge_into_empty_table_after_cached_empty_view(self, backend):
+        t = PropertyTable(backend=backend)
+        assert pairs_as_tuples(t.os_pairs()) == []
+        t.merge(flat([(7, 8)]))
+        assert pairs_as_tuples(t.os_pairs()) == [(8, 7)]
+
+    def test_duplicate_only_merge_keeps_valid_cache(self, backend):
+        t = PropertyTable(flat([(1, 2)]), backend=backend)
+        cached = t.os_pairs()
+        new = t.merge(flat([(1, 2)]))
+        assert len(new) == 0
+        assert t.os_pairs() is cached  # unchanged table: cache still valid
+        assert pairs_as_tuples(t.os_pairs()) == [(2, 1)]
+
+    def test_store_add_pairs_refreshes_subjects_of(self, backend):
+        store = TripleStore(backend=backend)
+        store.add_pairs(100, flat([(1, 9), (2, 9)]))
+        table = store.table(100)
+        assert table.subjects_of(9) == [1, 2]  # builds the o-s cache
+        assert table.has_os_cache
+        store.add_pairs(100, flat([(3, 9)]))
+        assert table.subjects_of(9) == [1, 2, 3]
+
+    def test_uncached_mode_always_fresh(self, backend):
+        t = PropertyTable(
+            flat([(1, 2)]), backend=backend, cache_os=False
+        )
+        t.os_pairs()
+        t.merge(flat([(0, 5)]))
+        assert pairs_as_tuples(t.os_pairs()) == [(2, 1), (5, 0)]
+        assert not t.has_os_cache
 
 
 @settings(max_examples=150, deadline=None)

@@ -33,6 +33,26 @@ class TestInferredBuffers:
         assert not buffers
         assert len(buffers) == 0
 
+    def test_extend_keeps_chunk_reference(self):
+        buffers = InferredBuffers()
+        chunk = flat([(1, 2), (3, 4)])
+        buffers.extend(10, chunk)
+        [(pid, chunks)] = list(buffers.chunk_items())
+        assert pid == 10
+        assert chunks[0] is chunk  # zero-copy
+
+    def test_items_concatenates_emits_and_chunks(self):
+        buffers = InferredBuffers()
+        buffers.emit(10, 1, 2)
+        buffers.extend(10, flat([(3, 4)]))
+        buffers.extend(20, [5, 6])
+        flattened = dict(buffers.items())
+        assert sorted(
+            zip(flattened[10][0::2], flattened[10][1::2])
+        ) == [(1, 2), (3, 4)]
+        assert list(flattened[20]) == [5, 6]
+        assert len(buffers) == 3
+
 
 class TestTripleStoreLoading:
     def test_add_encoded_partitions_by_property(self):
