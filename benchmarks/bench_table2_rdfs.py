@@ -16,10 +16,16 @@ Backends: python benchmarks/bench_table2_rdfs.py --backend numpy
          runs the Inferray engine under the pure-Python kernels AND the
          requested kernel backend side by side and reports per-cell
          speedups (see repro.kernels).
+JSON:    --json [PATH] additionally writes a machine-readable record
+         set (default PATH: BENCH_table2.json) — one entry per cell
+         with dataset, engine, backend, ruleset, seconds, n_inferred.
+Smoke:   --smoke restricts to one tiny dataset with a single run per
+         cell (the CI smoke job uses --smoke --json).
 Pytest:  pytest benchmarks/bench_table2_rdfs.py --benchmark-only
 """
 
 import argparse
+import json
 
 import pytest
 
@@ -147,6 +153,49 @@ def _report_backend_comparison(backend, results, timeout=TIMEOUT):
         )
 
 
+def write_json_report(path, results, *, mode, timeout):
+    """Write the cell records as machine-readable JSON (CI artifact).
+
+    Each record carries dataset / engine / backend / ruleset /
+    seconds (null on timeout) / n_input / n_inferred / n_total.  In
+    backend-comparison mode the RunResult's engine column *is* the
+    kernel backend label; in engine mode the backend is whatever
+    'auto' resolves to in this environment.
+    """
+    from repro.kernels import resolve_backend
+
+    auto_backend = resolve_backend("auto").name
+    records = []
+    for result in results:
+        is_backend_label = mode == "backends"
+        records.append(
+            {
+                "dataset": result.dataset,
+                "ruleset": result.ruleset,
+                "engine": "inferray" if is_backend_label else result.engine,
+                "backend": result.engine if is_backend_label else (
+                    auto_backend if result.engine == "inferray" else None
+                ),
+                "seconds": result.seconds,
+                "timeout": result.seconds is None,
+                "n_input": result.n_input,
+                "n_inferred": result.n_inferred,
+                "n_total": result.n_total,
+                "runs": result.runs,
+            }
+        )
+    payload = {
+        "table": "table2-rdfs",
+        "mode": mode,
+        "timeout_seconds": timeout,
+        "results": records,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(records)} cell records to {path}")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -160,7 +209,27 @@ def main(argv=None):
         "--timeout", type=float, default=TIMEOUT,
         help=f"per-run timeout in seconds (default {TIMEOUT:.0f})",
     )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_table2.json",
+        default=None,
+        metavar="PATH",
+        help="also write machine-readable results "
+        "(default PATH: BENCH_table2.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny single-run configuration for CI smoke checks",
+    )
     args = parser.parse_args(argv)
+
+    subset = None
+    runs = 1
+    if args.smoke:
+        subset = [("BSBM-300", bsbm_like(300))]
+        args.timeout = min(args.timeout, 30.0)
 
     if args.backend:
         from repro.kernels import KernelUnavailableError, numpy_available
@@ -169,7 +238,9 @@ def main(argv=None):
         if backend == "auto":
             backend = "numpy" if numpy_available() else "python"
         try:
-            results = run_backend_table(backend, timeout=args.timeout)
+            results = run_backend_table(
+                backend, timeout=args.timeout, runs=runs, subset=subset
+            )
         except KernelUnavailableError as error:
             import sys
 
@@ -183,9 +254,13 @@ def main(argv=None):
             print(results_matrix(results, columns=["python"]))
         else:
             _report_backend_comparison(backend, results, timeout=args.timeout)
+        if args.json:
+            write_json_report(
+                args.json, results, mode="backends", timeout=args.timeout
+            )
         return
 
-    results = run_table(timeout=args.timeout)
+    results = run_table(timeout=args.timeout, runs=runs, subset=subset)
     print(
         "Table 2 — RDFS flavours, execution time in ms "
         f"('–' = timeout of {args.timeout:.0f}s; * = synthetic stand-in)"
@@ -194,6 +269,10 @@ def main(argv=None):
     print()
     for line in speedup_summary(results):
         print(" ", line)
+    if args.json:
+        write_json_report(
+            args.json, results, mode="engines", timeout=args.timeout
+        )
 
 
 # ----------------------------------------------------------------------

@@ -3,14 +3,15 @@
 
 The workflow the paper motivates for forward-chaining: pay for
 materialization up front, then serve conjunctive queries from the
-closed store with no inference at query time — and absorb new facts
-with incremental (delta-driven) re-materialization instead of a full
-re-run.
+closed store with no inference at query time.  Through the ``Store``
+facade the orchestration is implicit — ``add()`` marks the closure
+stale, and the next read absorbs the delta with incremental
+(delta-driven) re-materialization instead of a full re-run.
 
 Run:  python examples/query_and_update.py
 """
 
-from repro import InferrayEngine, Query
+from repro import Query, Store
 from repro.datasets import lubm_like
 from repro.rdf import IRI, RDF, Triple
 
@@ -22,9 +23,8 @@ def lubm(name: str) -> IRI:
 
 
 def main() -> None:
-    engine = InferrayEngine("rdfs-plus")
-    engine.load_triples(lubm_like(10))
-    stats = engine.materialize()
+    store = Store(lubm_like(10), ruleset="rdfs-plus")
+    stats = store.materialize()
     print(
         f"Materialized {stats.n_total:,} triples "
         f"({stats.n_inferred:,} inferred) in "
@@ -34,35 +34,47 @@ def main() -> None:
     # Q1: every person in every organization — answered purely from
     # materialized data (memberOf ⊒ worksFor ⊒ headOf, so heads and
     # professors appear without any query-time reasoning).
-    members = Query.parse(
-        ("?person", LUBM + "memberOf", "?org"),
-    ).select(engine, "person", "org")
+    members = store.select(
+        Query.parse(("?person", LUBM + "memberOf", "?org")),
+        "person",
+        "org",
+    )
     print(f"Q1  memberOf pairs (incl. via subPropertyOf): {len(members)}")
 
     # Q2: a join — graduate students and their advisors' departments.
-    advisors = Query.parse(
-        ("?student", RDF.type, lubm("GraduateStudent")),
-        ("?student", LUBM + "advisor", "?prof"),
-        ("?prof", LUBM + "worksFor", "?dept"),
-    ).select(engine, "student", "prof", "dept")
+    advisors = store.select(
+        Query.parse(
+            ("?student", RDF.type, lubm("GraduateStudent")),
+            ("?student", LUBM + "advisor", "?prof"),
+            ("?prof", LUBM + "worksFor", "?dept"),
+        ),
+        "student",
+        "prof",
+        "dept",
+    )
     print(f"Q2  grad-student/advisor/department joins:    {len(advisors)}")
 
     # Q3: transitive subOrganizationOf is already closed.
-    in_universities = Query.parse(
-        ("?org", LUBM + "subOrganizationOf", "?univ"),
-        ("?univ", RDF.type, lubm("University")),
-    ).select(engine, "org")
+    in_universities = store.select(
+        Query.parse(
+            ("?org", LUBM + "subOrganizationOf", "?univ"),
+            ("?univ", RDF.type, lubm("University")),
+        ),
+        "org",
+    )
     print(f"Q3  organizations under a university:         {len(in_universities)}")
 
-    # Incremental update: a new research group joins department 0 —
-    # only the delta's consequences are derived.
+    # Incremental update: a new research group joins department 0.
+    # add() is lazy — the next read triggers a delta-driven fixed
+    # point that derives only the consequences of the new triples.
     group = lubm("Group_new")
-    delta_stats = engine.materialize_incremental(
+    store.add(
         [
             Triple(group, RDF.type, lubm("ResearchGroup")),
             Triple(group, lubm("subOrganizationOf"), lubm("Department0")),
         ]
     )
+    delta_stats = store.materialize()
     print(
         f"\nIncremental update: +{delta_stats.n_inferred} triples in "
         f"{delta_stats.total_seconds * 1000:.1f} ms "
@@ -71,9 +83,9 @@ def main() -> None:
 
     # The new group is immediately visible transitively under its
     # university, without a full re-materialization.
-    reachable = Query.parse(
-        (group, LUBM + "subOrganizationOf", "?up"),
-    ).select(engine, "up")
+    reachable = store.select(
+        Query.parse((group, LUBM + "subOrganizationOf", "?up")), "up"
+    )
     print(f"The new group now sits under {len(reachable)} organizations:")
     for (org,) in reachable:
         print("  ", org)

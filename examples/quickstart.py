@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: parse N-Triples, materialize RDFS, inspect the result.
+"""Quickstart: build a Store, let it materialize lazily, query it.
 
 This is the paper's introduction example: once ``human ⊑ mammal ⊑
 animal`` is asserted and Bart is typed ``human``, forward-chaining
-materialization makes the implicit types explicit.
+materialization makes the implicit types explicit.  The ``repro.Store``
+facade hides the load/materialize orchestration — the first read
+triggers inference.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import InferrayEngine
+from repro import Store
 from repro.rdf import RDF, RDFS, parse, serialize
 
 DOCUMENT = """
@@ -21,13 +23,12 @@ DOCUMENT = """
 
 
 def main() -> None:
-    triples = list(parse(DOCUMENT))
-    print(f"Asserted {len(triples)} triples.")
+    store = Store(parse(DOCUMENT))
+    print(f"Asserted {store.n_asserted} triples (closure not built yet).")
 
-    engine = InferrayEngine("rdfs-default")
-    engine.load_triples(triples)
-    stats = engine.materialize()
-
+    # Any read flushes the pending triples through the engine; an
+    # explicit materialize() is only needed to get the stats object.
+    stats = store.materialize()
     print(
         f"Materialized {stats.n_inferred} new triples in "
         f"{stats.iterations} iteration(s) "
@@ -35,17 +36,23 @@ def main() -> None:
         f"closure pre-pass produced {stats.closure_pairs} pairs)."
     )
     print("\nFull closure:")
-    print(serialize(sorted(engine.triples(), key=lambda t: t.n3())))
+    print(serialize(sorted(store.triples(), key=lambda t: t.n3())))
 
     # Pattern queries run against the closure.
-    bart = next(iter(engine.query(None, RDF.type, None))).subject
+    bart = next(iter(store.query(None, RDF.type, None))).subject
     print(f"All types of {bart}:")
-    for triple in engine.query(bart, RDF.type, None):
+    for triple in store.query(bart, RDF.type, None):
         print("  ", triple.object)
+
+    # The same entry point takes BGP strings (well-known prefixes and
+    # the 'a' shorthand are expanded).
+    print("\nEvery animal, via a BGP string query:")
+    for solution in store.query("?who a <http://example.org/animal>"):
+        print("  ", solution["who"])
 
     # The schema itself was closed too (SCM-SCO).
     print("\nsubClassOf closure:")
-    for triple in engine.query(None, RDFS.subClassOf, None):
+    for triple in store.query(None, RDFS.subClassOf, None):
         print("  ", triple.subject, "⊑", triple.object)
 
 

@@ -5,9 +5,14 @@ Public API
 
 The common entry points are re-exported here:
 
-* :class:`InferrayEngine` — the forward-chaining reasoner (Algorithm 1).
-* :func:`infer` / :func:`infer_with_stats` — one-shot materialization.
-* :class:`InferredModel` — a Jena-InfModel-style wrapper.
+* :class:`Store` — the unified facade: lazy materialization on
+  add/remove, snapshot-isolated reads, one ``query()`` entry point
+  (pattern / BGP string / :class:`TriplePattern` list) and
+  ``save()`` / ``Store.load()`` persistence.
+* :class:`InferrayEngine` — the forward-chaining reasoner (Algorithm 1)
+  the Store drives.
+* :func:`infer` / :func:`infer_with_stats` / :class:`InferredModel` —
+  deprecated one-shot helpers, kept as shims over the Store.
 * :mod:`repro.rdf` — terms, vocabularies, N-Triples I/O.
 * :mod:`repro.rules` — the Table-5 catalogue and ruleset selections.
 * :mod:`repro.baselines` — comparator engines (hash-join, RETE, naive).
@@ -16,14 +21,17 @@ The common entry points are re-exported here:
 
 Quickstart::
 
-    from repro import infer
+    from repro import Store
     from repro.rdf import iri, Triple, RDF, RDFS
 
-    g = infer([
+    store = Store([
         Triple(iri("ex:human"), RDFS.subClassOf, iri("ex:mammal")),
         Triple(iri("ex:Bart"), RDF.type, iri("ex:human")),
     ])
-    assert Triple(iri("ex:Bart"), RDF.type, iri("ex:mammal")) in g
+    assert Triple(iri("ex:Bart"), RDF.type, iri("ex:mammal")) in store
+    for solution in store.query("?who a ex:mammal"):
+        print(solution["who"])
+    store.save("closure.store")            # reload later in O(read)
 """
 
 from .core.api import (
@@ -38,10 +46,17 @@ from .core.engine import (
     MaterializationStats,
     MaterializationTimeout,
 )
-from .query.bgp import Query, TriplePattern, Var
+from .core.store_api import (
+    Snapshot,
+    Store,
+    StoreConfig,
+    StoreFormatError,
+    is_store_file,
+)
+from .query.bgp import Query, TriplePattern, Var, parse_bgp
 from .rules.rulesets import RULESET_NAMES
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FixedPointError",
@@ -51,10 +66,16 @@ __all__ = [
     "MaterializationTimeout",
     "Query",
     "RULESET_NAMES",
+    "Snapshot",
+    "Store",
+    "StoreConfig",
+    "StoreFormatError",
     "TriplePattern",
     "Var",
     "__version__",
     "infer",
     "infer_with_stats",
+    "is_store_file",
     "load_and_materialize",
+    "parse_bgp",
 ]

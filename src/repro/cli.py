@@ -1,11 +1,19 @@
-"""Command-line interface: materialize N-Triples files from the shell.
+"""Command-line interface over the :class:`repro.Store` facade.
 
 Usage (installed as a module; mirrors the original Inferray's
-stand-alone reasoner):
+stand-alone reasoner, extended with the serving-grade store verbs):
 
     python -m repro infer data.nt --ruleset rdfs-plus -o closed.nt
     python -m repro stats data.nt --ruleset rdfs-default
     python -m repro rules --ruleset rho-df
+    python -m repro save data.nt -o closure.store
+    python -m repro load closure.store -o closed.nt
+    python -m repro query closure.store "?s rdf:type ?t"
+    python -m repro query data.nt "?x rdfs:subClassOf ?y"
+
+``query`` and ``load`` accept either a serialized store file (from
+``save`` — reloaded in O(read), no inference re-run) or a plain
+N-Triples/Turtle file (materialized on the fly).
 """
 
 from __future__ import annotations
@@ -15,19 +23,12 @@ import os
 import sys
 from typing import List, Optional
 
-from .core.engine import InferrayEngine
+from .core.store_api import Store, StoreFormatError, is_store_file
 from .kernels import BACKEND_NAMES, KernelUnavailableError
+from .query.bgp import BGPSyntaxError, parse_bgp
 from .rdf.ntriples import write_file
-from .rdf.turtle import parse_turtle_file
 from .rules.rulesets import RULESET_NAMES, ruleset_rule_names
 from .rules.table5 import BY_NAME
-
-
-def _load_input(engine: InferrayEngine, path: str) -> int:
-    """Load a file by extension: .ttl/.turtle → Turtle, else N-Triples."""
-    if path.endswith((".ttl", ".turtle")):
-        return engine.load_triples(parse_turtle_file(path))
-    return engine.load_file(path)
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
@@ -40,11 +41,13 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_ruleset_argument(parser: argparse.ArgumentParser) -> None:
+def _add_ruleset_argument(
+    parser: argparse.ArgumentParser, *, default: Optional[str] = "rdfs-default"
+) -> None:
     parser.add_argument(
         "--ruleset",
         choices=RULESET_NAMES,
-        default="rdfs-default",
+        default=default,
         help="rule fragment to materialize under (default: rdfs-default)",
     )
 
@@ -99,7 +102,71 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_ruleset_argument(rules_cmd)
 
+    save_cmd = commands.add_parser(
+        "save",
+        help="materialize a dataset and serialize the closed store",
+    )
+    save_cmd.add_argument("input", help="input N-Triples/Turtle file")
+    save_cmd.add_argument(
+        "-o", "--output", required=True,
+        help="serialized store file to write",
+    )
+    _add_ruleset_argument(save_cmd)
+    _add_backend_argument(save_cmd)
+
+    load_cmd = commands.add_parser(
+        "load",
+        help="reload a serialized store (no inference) and inspect it",
+    )
+    load_cmd.add_argument("input", help="store file written by 'save'")
+    load_cmd.add_argument(
+        "-o", "--output",
+        help="also dump the closure as N-Triples to this path",
+    )
+    load_cmd.add_argument(
+        "--inferred-only",
+        action="store_true",
+        help="with -o: dump only the derived triples",
+    )
+    _add_backend_argument(load_cmd)
+
+    query_cmd = commands.add_parser(
+        "query",
+        help="run a BGP query over a store file or a dataset",
+    )
+    query_cmd.add_argument(
+        "input",
+        help="serialized store (from 'save') or N-Triples/Turtle file",
+    )
+    query_cmd.add_argument(
+        "pattern",
+        nargs="+",
+        help="BGP pattern(s), e.g. '?s rdf:type ?t' "
+        "(several arguments are joined with ' . ')",
+    )
+    query_cmd.add_argument(
+        "--limit", type=int, default=None,
+        help="print at most this many solutions",
+    )
+    _add_ruleset_argument(query_cmd, default=None)
+    _add_backend_argument(query_cmd)
+
     return parser
+
+
+def _open_store(args: argparse.Namespace) -> Store:
+    """A Store from either a serialized store or a raw dataset file."""
+    ruleset = getattr(args, "ruleset", None)
+    if is_store_file(args.input):
+        options = {"backend": args.backend}
+        if ruleset:
+            options["ruleset"] = ruleset
+        return Store.load(args.input, **options)
+    return Store.from_file(
+        args.input,
+        ruleset=ruleset or "rdfs-default",
+        backend=args.backend,
+    )
 
 
 def _run_infer(args: argparse.Namespace) -> int:
@@ -113,24 +180,19 @@ def _run_infer(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    engine = InferrayEngine(
-        args.ruleset, algorithm=args.algorithm, backend=args.backend
+    store = Store(
+        ruleset=args.ruleset,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        timeout_seconds=args.timeout,
     )
-    loaded = _load_input(engine, args.input)
-    asserted = set(engine.encoded_triples()) if args.inferred_only else None
-    engine.materialize(timeout_seconds=args.timeout)
-    if args.inferred_only:
-        triples = (
-            engine.dictionary.decode_triple(encoded)
-            for encoded in engine.encoded_triples()
-            if encoded not in asserted
-        )
-    else:
-        triples = engine.triples()
+    loaded = store.add_file(args.input)
+    store.materialize()
+    triples = store.inferred() if args.inferred_only else store.triples()
     if args.output:
         count = write_file(triples, args.output)
         print(
-            f"{args.input}: {loaded} asserted -> {engine.n_triples} total; "
+            f"{args.input}: {loaded} asserted -> {store.n_triples} total; "
             f"wrote {count} triples to {args.output}",
             file=sys.stderr,
         )
@@ -141,10 +203,10 @@ def _run_infer(args: argparse.Namespace) -> int:
 
 
 def _run_stats(args: argparse.Namespace) -> int:
-    engine = InferrayEngine(args.ruleset, backend=args.backend)
-    loaded = _load_input(engine, args.input)
-    stats = engine.materialize()
-    print(f"kernel backend:    {engine.kernels.name}")
+    store = Store(ruleset=args.ruleset, backend=args.backend)
+    loaded = store.add_file(args.input)
+    stats = store.materialize()
+    print(f"kernel backend:    {store.engine.kernels.name}")
     print(f"input triples:     {loaded}")
     print(f"inferred triples:  {stats.n_inferred}")
     print(f"total triples:     {stats.n_total}")
@@ -173,17 +235,101 @@ def _run_rules(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_save(args: argparse.Namespace) -> int:
+    store = Store(ruleset=args.ruleset, backend=args.backend)
+    loaded = store.add_file(args.input)
+    stats = store.materialize()
+    written = store.save(args.output)
+    print(
+        f"{args.input}: {loaded} asserted -> {store.n_triples} total "
+        f"({stats.n_inferred} inferred); wrote {written:,} bytes to "
+        f"{args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_load(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.input):
+        print(f"repro: {args.input}: no such file", file=sys.stderr)
+        return 2
+    if not is_store_file(args.input):
+        print(
+            f"repro: {args.input} is not a serialized store "
+            "(write one with 'repro save')",
+            file=sys.stderr,
+        )
+        return 2
+    store = Store.load(args.input, backend=args.backend)
+    if args.output:
+        triples = (
+            store.inferred() if args.inferred_only else store.triples()
+        )
+        count = write_file(triples, args.output)
+        print(
+            f"{args.input}: wrote {count} triples to {args.output}",
+            file=sys.stderr,
+        )
+        return 0
+    n_asserted = len(store.asserted())
+    print(f"store file:        {args.input}")
+    print(f"ruleset:           {store.engine.ruleset_name}")
+    print(f"kernel backend:    {store.engine.kernels.name}")
+    print(f"total triples:     {store.n_triples}")
+    print(f"asserted triples:  {n_asserted}")
+    print(f"inferred triples:  {store.n_triples - n_asserted}")
+    print(f"memory:            {store.memory_bytes():,} bytes")
+    print(f"materialized:      {store.engine.is_materialized}")
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    try:
+        patterns = parse_bgp(" . ".join(args.pattern))
+    except BGPSyntaxError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    store = _open_store(args)
+    variables = []
+    for pattern in patterns:
+        for var in pattern.variables():
+            if var not in variables:
+                variables.append(var)
+    solutions = store.query(patterns)
+    if args.limit is not None:
+        solutions = solutions[: args.limit]
+    if variables:
+        print("\t".join(f"?{var.name}" for var in variables))
+        for solution in solutions:
+            print(
+                "\t".join(solution[var.name].n3() for var in variables)
+            )
+    else:
+        # Fully ground pattern: ASK semantics.
+        print("true" if solutions else "false")
+    print(f"{len(solutions)} solution(s)", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    handlers = {
+        "infer": _run_infer,
+        "stats": _run_stats,
+        "rules": _run_rules,
+        "save": _run_save,
+        "load": _run_load,
+        "query": _run_query,
+    }
     try:
-        if args.command == "infer":
-            return _run_infer(args)
-        if args.command == "stats":
-            return _run_stats(args)
-        return _run_rules(args)
-    except KernelUnavailableError as error:
+        return handlers[args.command](args)
+    except (KernelUnavailableError, StoreFormatError) as error:
         print(f"repro: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"repro: {error.filename or error}: no such file",
+              file=sys.stderr)
         return 2
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, the

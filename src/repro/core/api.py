@@ -1,18 +1,41 @@
-"""High-level convenience API over :class:`InferrayEngine`.
+"""Deprecated one-shot helpers, kept as thin shims over :class:`Store`.
 
-These helpers cover the common "one-shot" uses: materialize a triple
-collection or file and get back decoded triples — the shape a downstream
-user (or the Jena-style adapter) expects.
+Historically the public API was this pile of free functions
+(``infer``, ``infer_with_stats``, ``load_and_materialize``) plus the
+Jena-style :class:`InferredModel`.  The serving-grade entry point is
+now the unified :class:`repro.Store` facade (lazy materialization,
+snapshot reads, one query entry point, persistence); everything here
+delegates to it and emits a :class:`DeprecationWarning`.
+
+Migration map::
+
+    infer(triples, ...)               -> Store(triples, ...).graph()
+    infer_with_stats(triples, ...)    -> s = Store(triples, ...)
+                                         s.materialize(); s.graph(), s.stats
+    load_and_materialize(path, ...)   -> Store.from_file(path, ...)
+    InferredModel(triples)            -> Store(triples)
+      .list_statements(s, p, o)       ->   .query(s, p, o)
+      .deductions()                   ->   Graph(.inferred())
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, List, Optional, Tuple, Union
 
 from ..rdf.graph import Graph
 from ..rdf.terms import Term, Triple
 from ..rules.spec import Rule
 from .engine import InferrayEngine, MaterializationStats
+from .store_api import Store
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def infer(
@@ -24,6 +47,10 @@ def infer(
 ) -> Graph:
     """Materialize ``triples`` under a ruleset; returns the closed graph.
 
+    .. deprecated:: 1.1
+        Use ``Store(triples, ...).graph()`` (or keep the Store around
+        and query it directly).
+
     >>> from repro.rdf import iri, Triple, RDFS, RDF
     >>> human, mammal = iri("ex:human"), iri("ex:mammal")
     >>> bart = iri("ex:Bart")
@@ -34,10 +61,11 @@ def infer(
     >>> Triple(bart, RDF.type, mammal) in g
     True
     """
-    engine = InferrayEngine(ruleset, algorithm=algorithm, backend=backend)
-    engine.load_triples(triples)
-    engine.materialize()
-    return Graph(engine.triples())
+    _warn_deprecated("infer()", "repro.Store(...).graph()")
+    store = Store(
+        list(triples), ruleset=ruleset, algorithm=algorithm, backend=backend
+    )
+    return store.graph()
 
 
 def infer_with_stats(
@@ -47,11 +75,19 @@ def infer_with_stats(
     algorithm: str = "auto",
     backend: str = "auto",
 ) -> Tuple[Graph, MaterializationStats]:
-    """Like :func:`infer` but also returns the materialization stats."""
-    engine = InferrayEngine(ruleset, algorithm=algorithm, backend=backend)
-    engine.load_triples(triples)
-    stats = engine.materialize()
-    return Graph(engine.triples()), stats
+    """Like :func:`infer` but also returns the materialization stats.
+
+    .. deprecated:: 1.1
+        Use ``Store.materialize()`` and ``Store.stats``.
+    """
+    _warn_deprecated(
+        "infer_with_stats()", "repro.Store.materialize() / Store.stats"
+    )
+    store = Store(
+        list(triples), ruleset=ruleset, algorithm=algorithm, backend=backend
+    )
+    stats = store.materialize()
+    return store.graph(), stats
 
 
 def load_and_materialize(
@@ -61,20 +97,27 @@ def load_and_materialize(
     algorithm: str = "auto",
     backend: str = "auto",
 ) -> InferrayEngine:
-    """Parse an N-Triples file, materialize, and return the engine."""
-    engine = InferrayEngine(ruleset, algorithm=algorithm, backend=backend)
-    engine.load_file(path)
-    engine.materialize()
-    return engine
+    """Parse an N-Triples file, materialize, and return the engine.
+
+    .. deprecated:: 1.1
+        Use ``Store.from_file(path, ...)`` — it materializes lazily and
+        adds querying, snapshots and persistence.
+    """
+    _warn_deprecated("load_and_materialize()", "repro.Store.from_file()")
+    store = Store.from_file(
+        path, ruleset=ruleset, algorithm=algorithm, backend=backend
+    )
+    store.materialize()
+    return store.engine
 
 
 class InferredModel:
     """A Jena-InfModel-style wrapper: asserted + inferred views.
 
-    Mirrors the interface shape of Jena's ``InfModel`` (the paper ships
-    a Jena-compliant adapter): construction takes the asserted triples,
-    materialization is implicit, and the model answers pattern queries
-    over the deductive closure.
+    .. deprecated:: 1.1
+        Use :class:`repro.Store` — ``query()`` replaces
+        ``list_statements()`` and ``Graph(store.inferred())`` replaces
+        ``deductions()``.  This wrapper now delegates to a Store.
     """
 
     def __init__(
@@ -84,10 +127,9 @@ class InferredModel:
         *,
         backend: str = "auto",
     ):
+        _warn_deprecated("InferredModel", "repro.Store")
         self._asserted = list(triples)
-        self._engine = InferrayEngine(ruleset, backend=backend)
-        self._engine.load_triples(self._asserted)
-        self._engine.materialize()
+        self._store = Store(self._asserted, ruleset=ruleset, backend=backend)
 
     @property
     def asserted(self) -> List[Triple]:
@@ -95,10 +137,10 @@ class InferredModel:
         return list(self._asserted)
 
     def __len__(self) -> int:
-        return self._engine.n_triples
+        return self._store.n_triples
 
     def __contains__(self, triple: Triple) -> bool:
-        return self._engine.contains(triple)
+        return self._store.contains(triple)
 
     def list_statements(
         self,
@@ -107,9 +149,12 @@ class InferredModel:
         obj: Optional[Term] = None,
     ):
         """Pattern query over the closure (Jena's listStatements)."""
-        return self._engine.query(subject, predicate, obj)
+        return self._store.query(subject, predicate, obj)
 
     def deductions(self) -> Graph:
-        """Only the triples added by inference."""
-        asserted = set(self._asserted)
-        return Graph(t for t in self._engine.triples() if t not in asserted)
+        """Only the triples added by inference.
+
+        Diffs on encoded id triples inside the store — the closure is
+        never decoded wholesale just to subtract the asserted set.
+        """
+        return Graph(self._store.inferred())

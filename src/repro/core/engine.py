@@ -157,9 +157,19 @@ class InferrayEngine:
     ) -> MaterializationStats:
         """Run the closure pre-pass and the fixed point; returns stats.
 
+        Idempotent re-entry is a cheap no-op: when the store is already
+        materialized and nothing was loaded since, the fixed point is
+        skipped entirely and a zero-work stats record is returned
+        (``self.stats`` keeps the stats of the last *real* run).
+
         Raises :class:`MaterializationTimeout` when ``timeout_seconds``
         elapses (checked between iterations).
         """
+        if self._materialized:
+            return MaterializationStats(
+                n_input=self.main.n_triples,
+                n_total=self.main.n_triples,
+            )
         stats = MaterializationStats(n_input=self.main.n_triples)
         started = time.perf_counter()
         deadline = None if timeout_seconds is None else started + timeout_seconds
@@ -228,15 +238,18 @@ class InferrayEngine:
         return stats
 
     def retract_and_rematerialize(
-        self, triples: Iterable[Triple]
+        self,
+        triples: Iterable[Triple],
+        *,
+        timeout_seconds: Optional[float] = None,
     ) -> MaterializationStats:
         """Remove asserted triples and recompute the closure from scratch.
 
         Forward-chaining has no cheap deletion — "forward-chaining
         requires full materialization after deletion" (paper §1) — so
         this rebuilds the store from the surviving asserted triples and
-        re-runs :meth:`materialize`.  Triples never asserted (inferred
-        or unknown) are ignored.
+        re-runs :meth:`materialize` (bounded by ``timeout_seconds``).
+        Triples never asserted (inferred or unknown) are ignored.
         """
         to_remove = set()
         for triple in triples:
@@ -255,12 +268,56 @@ class InferrayEngine:
         )
         self.main.add_encoded(surviving)
         self._materialized = False
-        return self.materialize()
+        return self.materialize(timeout_seconds=timeout_seconds)
 
     @property
     def n_asserted(self) -> int:
         """Number of asserted (loaded) triples, duplicates included."""
         return len(self._asserted)
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the store currently holds a complete closure."""
+        return self._materialized
+
+    def asserted_encoded(self) -> List[tuple]:
+        """The asserted (s, p, o) id triples, in load order.
+
+        Diffing the closure against this list on *encoded* ids is how
+        the Store facade computes the inferred-only view without
+        decoding the whole closure.
+        """
+        return list(self._asserted)
+
+    def restore(
+        self,
+        dictionary: Dictionary,
+        asserted_encoded: Iterable[tuple],
+        tables: Iterable[tuple],
+        *,
+        materialized: bool = True,
+    ) -> None:
+        """Adopt deserialized state (the Store persistence path).
+
+        ``tables`` yields ``(property_id, flat_pairs)`` with each flat
+        array already sorted-unique on ⟨s, o⟩ — they are installed
+        without re-sorting, which is what makes reloading a saved
+        closure O(read).  The previous store contents are discarded;
+        ``self.stats`` is cleared (no materialization ran here).
+        """
+        self.dictionary = dictionary
+        self.vocab = Vocab(dictionary)
+        self.main = TripleStore(
+            algorithm=self.algorithm,
+            tracer=self.tracer,
+            cache_os=self.main.cache_os,
+            backend=self.kernels,
+        )
+        for property_id, flat_pairs in tables:
+            self.main.load_table(property_id, flat_pairs, presorted=True)
+        self._asserted = [tuple(item) for item in asserted_encoded]
+        self._materialized = bool(materialized)
+        self.stats = None
 
     def memory_bytes(self) -> int:
         """Bytes held by the store's pair arrays and caches."""
@@ -288,6 +345,11 @@ class InferrayEngine:
             raise RuntimeError(
                 "materialize_incremental requires a prior materialize()"
             )
+        # The closure is incomplete until the delta fixed point lands:
+        # clear the flag so an abort (timeout) leaves the engine marked
+        # stale and the next materialize() recovers instead of serving
+        # a partially-updated closure as complete.
+        self._materialized = False
         stats = MaterializationStats(n_input=self.main.n_triples)
         started = time.perf_counter()
         deadline = None if timeout_seconds is None else started + timeout_seconds
@@ -336,6 +398,7 @@ class InferrayEngine:
         stats.n_total = self.main.n_triples
         stats.n_inferred = stats.n_total - stats.n_input
         stats.total_seconds = time.perf_counter() - started
+        self._materialized = True
         return stats
 
     # ------------------------------------------------------------------

@@ -1,0 +1,694 @@
+"""The unified ``repro.Store`` facade: a serving-grade read/write API.
+
+The paper's pitch is that materialized inference "can be consumed as
+explicit data without integrating the inference engine with the runtime
+query engine".  This module is the single entry point that makes that
+consumption ergonomic:
+
+* **Lazy materialization** — :meth:`Store.add` / :meth:`Store.remove`
+  only mark the closure stale; the next read flushes the pending
+  mutations, using the semi-naive incremental fixed point for pure
+  additions and a rebuild for deletions (forward chaining has no cheap
+  deletion, paper §1).  Callers never orchestrate
+  ``load_triples() + materialize()`` themselves.
+* **Snapshot-isolated reads** — :meth:`Store.snapshot` returns an
+  immutable :class:`Snapshot` over the store's committed pair arrays.
+  Committed arrays are never mutated in place (merges replace them
+  wholesale), so a snapshot is a zero-copy copy-on-write view: later
+  writers proceed while the snapshot keeps serving the closure it was
+  taken from.
+* **One query entry point** — :meth:`Store.query` accepts a decoded
+  ⟨s, p, o⟩ pattern (``None`` wildcards), a :class:`TriplePattern` (or
+  a list of them), a prebuilt :class:`Query`, or a BGP string like
+  ``"?s rdf:type ex:Person"`` (see :func:`repro.query.parse_bgp`).
+* **Persistence** — :meth:`Store.save` / :meth:`Store.load` serialize
+  the dictionary and the encoded, sorted pair arrays so a materialized
+  closure reloads in O(read), with no inference re-run.
+
+The asserted/inferred split (:meth:`Store.asserted`,
+:meth:`Store.inferred`) is computed on *encoded* id triples — a set
+diff over small int tuples — instead of decoding the whole closure.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import sys
+from array import array
+from dataclasses import dataclass, replace
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..dictionary.encoding import Dictionary, EncodedTriple
+from ..kernels import KernelBackend
+from ..query.bgp import Query, TriplePattern, parse_bgp
+from ..rdf.graph import Graph
+from ..rdf.ntriples import parse_file
+from ..rdf.terms import Term, Triple, term_from_record, term_to_record
+from ..rules.spec import Rule
+from .engine import InferrayEngine, MaterializationStats
+
+__all__ = [
+    "Snapshot",
+    "Store",
+    "StoreConfig",
+    "StoreFormatError",
+    "is_store_file",
+]
+
+#: Magic bytes opening every serialized store file.
+STORE_MAGIC = b"REPRO-STORE\x00"
+
+#: Current on-disk format version.
+STORE_FORMAT_VERSION = 1
+
+
+class StoreFormatError(ValueError):
+    """Raised when a file is not a readable serialized store."""
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Configuration shared by a :class:`Store` and its engine.
+
+    ``timeout_seconds`` bounds every (re)materialization the store
+    triggers; the engine raises
+    :class:`~repro.core.engine.MaterializationTimeout` past it.
+    """
+
+    ruleset: Union[str, List[Rule]] = "rdfs-default"
+    algorithm: str = "auto"
+    backend: Union[str, KernelBackend] = "auto"
+    os_cache: bool = True
+    max_iterations: int = 10_000
+    timeout_seconds: Optional[float] = None
+
+    def make_engine(self) -> InferrayEngine:
+        """A fresh engine honouring this configuration."""
+        return InferrayEngine(
+            self.ruleset,
+            algorithm=self.algorithm,
+            backend=self.backend,
+            max_iterations=self.max_iterations,
+            os_cache=self.os_cache,
+        )
+
+
+#: Forms accepted by the unified query entry point (beyond s/p/o).
+QueryInput = Union[str, TriplePattern, Query, Sequence[TriplePattern]]
+
+
+class _ReadAPI:
+    """Shared read-side behaviour of :class:`Store` and :class:`Snapshot`.
+
+    Subclasses provide :meth:`_view` returning the triple of
+    ``(TripleStore, Dictionary, asserted encoded triples)`` the reads
+    run against — the live (freshly flushed) state for a store, the
+    frozen state for a snapshot.
+    """
+
+    def _view(self):
+        raise NotImplementedError
+
+    # -- cardinality and membership -------------------------------------
+    @property
+    def n_triples(self) -> int:
+        """Number of triples in the closure."""
+        tables, _, _ = self._view()
+        return tables.n_triples
+
+    def __len__(self) -> int:
+        return self.n_triples
+
+    def contains(self, triple: Triple) -> bool:
+        """Membership test against the closure."""
+        tables, dictionary, _ = self._view()
+        ids = tuple(
+            dictionary.id_of(term)
+            for term in (triple.subject, triple.predicate, triple.object)
+        )
+        if None in ids:
+            return False
+        return (ids[0], ids[1], ids[2]) in tables
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.contains(triple)
+
+    # -- iteration ------------------------------------------------------
+    def triples(self) -> Iterator[Triple]:
+        """Iterate the whole closure, decoded."""
+        tables, dictionary, _ = self._view()
+        decode = dictionary.decode_triple
+        for encoded in tables.triples():
+            yield decode(encoded)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def encoded_triples(self) -> Iterator[EncodedTriple]:
+        """Iterate the closure as raw (s, p, o) id triples."""
+        tables, _, _ = self._view()
+        return tables.triples()
+
+    def asserted(self) -> List[Triple]:
+        """The asserted (explicitly added) triples, decoded, first-seen
+        order, duplicates collapsed."""
+        _, dictionary, asserted = self._view()
+        seen = set()
+        out = []
+        for encoded in asserted:
+            if encoded in seen:
+                continue
+            seen.add(encoded)
+            out.append(dictionary.decode_triple(encoded))
+        return out
+
+    def inferred(self) -> Iterator[Triple]:
+        """Only the triples added by inference.
+
+        The diff runs on encoded id triples — a hash probe per closure
+        triple — and only the surviving (inferred) triples are decoded.
+        """
+        tables, dictionary, asserted = self._view()
+        asserted_ids = (
+            asserted if isinstance(asserted, frozenset) else set(asserted)
+        )
+        decode = dictionary.decode_triple
+        for encoded in tables.triples():
+            if encoded not in asserted_ids:
+                yield decode(encoded)
+
+    def graph(self) -> Graph:
+        """The closure as a decoded in-memory :class:`Graph`."""
+        return Graph(self.triples())
+
+    # -- the unified query entry point ----------------------------------
+    def query(self, *args, **kwargs):
+        """Query the closure; the argument shape selects the form.
+
+        * ``query()`` / ``query(s, p, o)`` / ``query(subject=…, …)`` —
+          decoded triple-pattern lookup with ``None`` wildcards; yields
+          :class:`Triple` objects.
+        * ``query("?s rdf:type ex:Person")`` — BGP string; returns a
+          list of solutions, each a ``{variable name: Term}`` dict.
+        * ``query(TriplePattern(…))`` / ``query([p1, p2, …])`` /
+          ``query(Query([...]))`` — same, from pre-built patterns.
+        """
+        if len(args) == 1 and not kwargs:
+            candidate = args[0]
+            if isinstance(candidate, (str, TriplePattern, Query)):
+                return self.solutions(candidate)
+            if isinstance(candidate, (list, tuple)) and all(
+                isinstance(item, TriplePattern) for item in candidate
+            ):
+                if not candidate:
+                    raise ValueError("empty pattern list")
+                return self.solutions(list(candidate))
+        return self._pattern_query(*args, **kwargs)
+
+    def _pattern_query(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Decoded single-pattern query (``None`` = wildcard)."""
+        tables, dictionary, _ = self._view()
+        ids: List[Optional[int]] = []
+        for term in (subject, predicate, obj):
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = dictionary.id_of(term)
+                if term_id is None:
+                    return iter(())
+                ids.append(term_id)
+
+        def generate() -> Iterator[Triple]:
+            decode = dictionary.decode_triple
+            for encoded in tables.query(ids[0], ids[1], ids[2]):
+                yield decode(encoded)
+
+        return generate()
+
+    def _as_query(self, bgp: QueryInput) -> Query:
+        if isinstance(bgp, Query):
+            return bgp
+        if isinstance(bgp, str):
+            return Query(parse_bgp(bgp))
+        if isinstance(bgp, TriplePattern):
+            return Query([bgp])
+        return Query(list(bgp))
+
+    def solutions(self, bgp: QueryInput) -> List[Dict[str, Term]]:
+        """All BGP solutions as ``{variable name: Term}`` dicts."""
+        query = self._as_query(bgp)
+        return [
+            {var.name: term for var, term in bindings.items()}
+            for bindings in query.execute(self)
+        ]
+
+    def select(
+        self, bgp: QueryInput, *variables
+    ) -> List[Tuple[Term, ...]]:
+        """Distinct projected BGP solutions (SELECT DISTINCT)."""
+        return self._as_query(bgp).select(self, *variables)
+
+    def ask(self, bgp: QueryInput) -> bool:
+        """True iff the BGP has at least one solution."""
+        return self._as_query(bgp).ask(self)
+
+
+class Snapshot(_ReadAPI):
+    """An immutable, point-in-time view of a store's closure.
+
+    Taking one is cheap: the snapshot aliases the store's committed
+    pair arrays (copy-on-write — see
+    :meth:`repro.store.triple_store.TripleStore.share_view`) and pins
+    the asserted-id set.  Concurrent readers holding a snapshot keep
+    seeing a consistent closure while writers mutate the store.
+    """
+
+    __slots__ = ("_tables", "_dictionary", "_asserted", "ruleset_name")
+
+    def __init__(self, tables, dictionary, asserted, ruleset_name: str):
+        self._tables = tables
+        self._dictionary = dictionary
+        self._asserted = frozenset(asserted)
+        self.ruleset_name = ruleset_name
+
+    def _view(self):
+        return self._tables, self._dictionary, self._asserted
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Snapshot {self.n_triples} triples, "
+            f"ruleset={self.ruleset_name!r}>"
+        )
+
+
+class Store(_ReadAPI):
+    """The unified facade: mutate freely, read a complete closure.
+
+    >>> from repro.rdf import iri, Triple, RDF, RDFS
+    >>> store = Store([
+    ...     Triple(iri("ex:human"), RDFS.subClassOf, iri("ex:mammal")),
+    ...     Triple(iri("ex:Bart"), RDF.type, iri("ex:human")),
+    ... ])
+    >>> Triple(iri("ex:Bart"), RDF.type, iri("ex:mammal")) in store
+    True
+    >>> [s["who"] for s in store.query("?who a ex:mammal")]
+    [IRI(value='ex:Bart')]
+
+    Mutations are lazy: the closure is (re)materialized on the next
+    read — incrementally for pure additions, via rebuild when
+    deletions are pending.
+    """
+
+    def __init__(
+        self,
+        triples: Optional[Iterable[Triple]] = None,
+        *,
+        config: Optional[StoreConfig] = None,
+        **options,
+    ):
+        if config is None:
+            config = StoreConfig(**options)
+        elif options:
+            config = replace(config, **options)
+        self.config = config
+        self._engine = config.make_engine()
+        self._pending_adds: List[Triple] = []
+        self._pending_removes: List[Triple] = []
+        self._last_stats: Optional[MaterializationStats] = None
+        if triples is not None:
+            self.add(triples)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        *,
+        config: Optional[StoreConfig] = None,
+        **options,
+    ) -> "Store":
+        """A store seeded from an N-Triples (or ``.ttl`` Turtle) file."""
+        store = cls(config=config, **options)
+        store.add_file(path)
+        return store
+
+    def add_file(self, path: str) -> int:
+        """Schedule every triple of a file; returns the count scheduled.
+
+        ``.ttl`` / ``.turtle`` files are parsed as Turtle, anything
+        else as N-Triples.
+        """
+        if path.endswith((".ttl", ".turtle")):
+            from ..rdf.turtle import parse_turtle_file
+
+            return self.add(parse_turtle_file(path))
+        return self.add(parse_file(path))
+
+    # ------------------------------------------------------------------
+    # Mutations (lazy)
+    # ------------------------------------------------------------------
+    def add(self, triples: Union[Triple, Iterable[Triple]]) -> int:
+        """Schedule triples for assertion; returns the count scheduled.
+
+        Nothing is materialized here — the next read flushes the
+        pending delta through the semi-naive incremental fixed point.
+        """
+        if isinstance(triples, Triple):
+            triples = [triples]
+        before = len(self._pending_adds)
+        self._pending_adds.extend(triples)
+        return len(self._pending_adds) - before
+
+    def remove(self, triples: Union[Triple, Iterable[Triple]]) -> int:
+        """Schedule asserted triples for retraction; returns the count.
+
+        Every queued (pending-add) copy of the triple is dropped, and
+        if the triple is *also* already asserted in the engine a
+        retraction is scheduled too — ``remove`` always wins over any
+        earlier ``add``.  Retracting triples that were never asserted
+        (inferred or unknown) is a no-op, mirroring
+        :meth:`InferrayEngine.retract_and_rematerialize`.
+        """
+        if isinstance(triples, Triple):
+            triples = [triples]
+        engine_asserted = None  # built lazily, once per remove() call
+        scheduled = 0
+        for triple in triples:
+            if triple in self._pending_adds:
+                self._pending_adds = [
+                    pending
+                    for pending in self._pending_adds
+                    if pending != triple
+                ]
+            if engine_asserted is None:
+                engine_asserted = set(self._engine.asserted_encoded())
+            if self._encode_known(triple) in engine_asserted:
+                self._pending_removes.append(triple)
+            scheduled += 1
+        return scheduled
+
+    def _encode_known(self, triple: Triple):
+        """The encoded id triple, or ``None`` for unknown terms."""
+        dictionary = self._engine.dictionary
+        ids = tuple(
+            dictionary.id_of(term)
+            for term in (triple.subject, triple.predicate, triple.object)
+        )
+        return None if None in ids else ids
+
+    @property
+    def stale(self) -> bool:
+        """Whether mutations are pending against the current closure."""
+        return bool(
+            self._pending_adds
+            or self._pending_removes
+            or not self._engine.is_materialized
+        )
+
+    # ------------------------------------------------------------------
+    # Materialization control
+    # ------------------------------------------------------------------
+    def _refresh(self) -> Optional[MaterializationStats]:
+        """Flush pending mutations; returns stats if inference ran."""
+        engine = self._engine
+        timeout = self.config.timeout_seconds
+        adds = self._pending_adds
+        removes = self._pending_removes
+        if not adds and not removes:
+            if engine.is_materialized:
+                return None
+            stats = engine.materialize(timeout_seconds=timeout)
+            self._last_stats = stats
+            return stats
+        self._pending_adds = []
+        self._pending_removes = []
+        if removes:
+            # Deletion: forward chaining requires a rebuild (paper §1).
+            stats = engine.retract_and_rematerialize(
+                removes, timeout_seconds=timeout
+            )
+            if adds:
+                stats = engine.materialize_incremental(
+                    adds, timeout_seconds=timeout
+                )
+        elif engine.is_materialized:
+            stats = engine.materialize_incremental(
+                adds, timeout_seconds=timeout
+            )
+        else:
+            engine.load_triples(adds)
+            stats = engine.materialize(timeout_seconds=timeout)
+        self._last_stats = stats
+        return stats
+
+    def materialize(self) -> MaterializationStats:
+        """Force the closure current now; returns the run's stats.
+
+        Reads do this implicitly; calling it explicitly is useful to
+        pay the inference cost at a controlled time (e.g. before
+        serving) or to obtain the stats of the flush.  When nothing is
+        pending this is the engine's cheap idempotent no-op.
+        """
+        stats = self._refresh()
+        if stats is None:
+            stats = self._engine.materialize(
+                timeout_seconds=self.config.timeout_seconds
+            )
+        return stats
+
+    @property
+    def stats(self) -> Optional[MaterializationStats]:
+        """Stats of the most recent materialization flush, if any."""
+        return self._last_stats
+
+    @property
+    def engine(self) -> InferrayEngine:
+        """The underlying engine (advanced use; may be stale until a
+        read or :meth:`materialize` flushes pending mutations)."""
+        return self._engine
+
+    @property
+    def n_asserted(self) -> int:
+        """Asserted triples, including pending ones (duplicates incl.)."""
+        return self._engine.n_asserted + len(self._pending_adds)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the store's pair arrays and caches."""
+        return self._engine.memory_bytes()
+
+    # ------------------------------------------------------------------
+    # Read-side plumbing
+    # ------------------------------------------------------------------
+    def _view(self):
+        self._refresh()
+        engine = self._engine
+        # The engine's asserted list is handed out uncopied — reads
+        # only iterate it (copying per read would cost O(n_asserted)
+        # on every BGP binding probe); snapshot() freezes its own copy.
+        return engine.main, engine.dictionary, engine._asserted
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """An immutable view of the current closure (flushes first).
+
+        The snapshot stays valid — and unchanged — across any later
+        :meth:`add` / :meth:`remove` on this store.
+        """
+        self._refresh()
+        engine = self._engine
+        return Snapshot(
+            engine.main.share_view(),
+            engine.dictionary,
+            engine.asserted_encoded(),
+            engine.ruleset_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Serialize the materialized closure; returns bytes written.
+
+        The file holds the dictionary's term lists plus every
+        property's committed (sorted-unique) pair array and the
+        asserted id triples, so :meth:`load` restores the closure in
+        O(read) without re-running inference.
+        """
+        self._refresh()
+        engine = self._engine
+        property_terms, resource_terms = engine.dictionary.term_lists()
+        table_entries = []
+        blobs: List[bytes] = []
+        for property_id, flat in engine.main.table_arrays():
+            blob = _flat_to_le_bytes(flat)
+            table_entries.append(
+                {"pid": property_id, "n_values": len(flat)}
+            )
+            blobs.append(blob)
+        asserted_flat = array("q")
+        for subject, property_id, obj in engine.asserted_encoded():
+            asserted_flat.append(subject)
+            asserted_flat.append(property_id)
+            asserted_flat.append(obj)
+        header = {
+            "format": "repro-store",
+            "version": STORE_FORMAT_VERSION,
+            "ruleset": engine.ruleset_name,
+            "algorithm": engine.algorithm,
+            "materialized": engine.is_materialized,
+            "n_triples": engine.n_triples,
+            "property_terms": [term_to_record(t) for t in property_terms],
+            "resource_terms": [term_to_record(t) for t in resource_terms],
+            "tables": table_entries,
+            "n_asserted": len(asserted_flat) // 3,
+        }
+        payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        written = 0
+        with open(path, "wb") as handle:
+            written += handle.write(STORE_MAGIC)
+            written += handle.write(struct.pack("<I", len(payload)))
+            written += handle.write(payload)
+            for blob in blobs:
+                written += handle.write(blob)
+            written += handle.write(_flat_to_le_bytes(asserted_flat))
+        return written
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        *,
+        config: Optional[StoreConfig] = None,
+        **options,
+    ) -> "Store":
+        """Deserialize a saved store; no inference is re-run.
+
+        ``backend`` / ``algorithm`` / other :class:`StoreConfig`
+        options may be overridden (the pair arrays are
+        backend-portable); the ruleset defaults to the one saved.  A
+        store saved from a custom (unnamed) rule list needs an explicit
+        ``ruleset=`` override here.
+        """
+        with open(path, "rb") as handle:
+            header, tables, asserted = _read_store_file(handle)
+        overrides = dict(options)
+        if config is None:
+            if "ruleset" not in overrides:
+                overrides["ruleset"] = header["ruleset"]
+            if "algorithm" not in overrides:
+                overrides["algorithm"] = header["algorithm"]
+            config = StoreConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        if config.ruleset == "custom":
+            raise StoreFormatError(
+                f"{path!r} was saved from a custom rule list; pass an "
+                "explicit ruleset= to Store.load()"
+            )
+        dictionary = Dictionary.from_term_lists(
+            [term_from_record(r) for r in header["property_terms"]],
+            [term_from_record(r) for r in header["resource_terms"]],
+        )
+        store = cls(config=config)
+        store._engine.restore(
+            dictionary,
+            asserted,
+            tables,
+            materialized=header["materialized"],
+        )
+        return store
+
+
+# ----------------------------------------------------------------------
+# Serialization plumbing
+# ----------------------------------------------------------------------
+def _flat_to_le_bytes(flat) -> bytes:
+    """A flat int64 sequence as little-endian bytes (any backend)."""
+    if isinstance(flat, array) and flat.typecode == "q":
+        if sys.byteorder == "little":
+            return flat.tobytes()
+        swapped = array("q", flat)
+        swapped.byteswap()
+        return swapped.tobytes()
+    astype = getattr(flat, "astype", None)
+    if astype is not None:  # numpy ndarray
+        return astype("<i8", copy=False).tobytes()
+    fallback = array("q", (int(value) for value in flat))
+    return _flat_to_le_bytes(fallback)
+
+
+def _le_bytes_to_flat(data: bytes) -> array:
+    """Little-endian bytes back to a host-order ``array('q')``."""
+    flat = array("q")
+    flat.frombytes(data)
+    if sys.byteorder == "big":
+        flat.byteswap()
+    return flat
+
+
+def _read_store_file(handle: io.BufferedIOBase):
+    """Parse a serialized store: (header, [(pid, flat)…], asserted)."""
+    magic = handle.read(len(STORE_MAGIC))
+    if magic != STORE_MAGIC:
+        raise StoreFormatError("not a repro store file (bad magic)")
+    length_bytes = handle.read(4)
+    if len(length_bytes) != 4:
+        raise StoreFormatError("truncated store file (header length)")
+    (header_len,) = struct.unpack("<I", length_bytes)
+    header_bytes = handle.read(header_len)
+    if len(header_bytes) != header_len:
+        raise StoreFormatError("truncated store file (header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise StoreFormatError(f"corrupt store header: {error}") from error
+    if header.get("version") != STORE_FORMAT_VERSION:
+        raise StoreFormatError(
+            f"unsupported store format version {header.get('version')!r} "
+            f"(this build reads version {STORE_FORMAT_VERSION})"
+        )
+    tables = []
+    for entry in header["tables"]:
+        n_bytes = entry["n_values"] * 8
+        blob = handle.read(n_bytes)
+        if len(blob) != n_bytes:
+            raise StoreFormatError("truncated store file (table data)")
+        tables.append((entry["pid"], _le_bytes_to_flat(blob)))
+    n_bytes = header["n_asserted"] * 3 * 8
+    blob = handle.read(n_bytes)
+    if len(blob) != n_bytes:
+        raise StoreFormatError("truncated store file (asserted data)")
+    flat = _le_bytes_to_flat(blob)
+    asserted = [
+        (flat[i], flat[i + 1], flat[i + 2]) for i in range(0, len(flat), 3)
+    ]
+    return header, tables, asserted
+
+
+def is_store_file(path: str) -> bool:
+    """Whether ``path`` starts with the serialized-store magic bytes."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(STORE_MAGIC)) == STORE_MAGIC
+    except OSError:
+        return False

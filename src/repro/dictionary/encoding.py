@@ -176,6 +176,32 @@ class Dictionary:
         ]
 
     # ------------------------------------------------------------------
+    # Persistence (used by the Store save/load format)
+    # ------------------------------------------------------------------
+    def term_lists(self) -> Tuple[List[Term], List[Term]]:
+        """(property terms, resource terms) in allocation order.
+
+        Replaying the two lists through :meth:`from_term_lists`
+        reproduces the exact id assignment, which is what the store
+        serialization format relies on.
+        """
+        return list(self._property_terms), list(self._resource_terms)
+
+    @classmethod
+    def from_term_lists(
+        cls,
+        property_terms: Iterable[Term],
+        resource_terms: Iterable[Term],
+    ) -> "Dictionary":
+        """Rebuild a dictionary from :meth:`term_lists` output."""
+        dictionary = cls()
+        for term in property_terms:
+            dictionary.encode_property(term)
+        for term in resource_terms:
+            dictionary.encode_resource(term)
+        return dictionary
+
+    # ------------------------------------------------------------------
     # Density diagnostics (used by sorting heuristics and tests)
     # ------------------------------------------------------------------
     def resource_id_range(self) -> Tuple[int, int]:

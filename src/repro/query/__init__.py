@@ -1,5 +1,19 @@
 """BGP query layer over materialized stores (consumer-side, no inference)."""
 
-from .bgp import Query, TriplePattern, Var, parse_pattern
+from .bgp import (
+    BGPSyntaxError,
+    Query,
+    TriplePattern,
+    Var,
+    parse_bgp,
+    parse_pattern,
+)
 
-__all__ = ["Query", "TriplePattern", "Var", "parse_pattern"]
+__all__ = [
+    "BGPSyntaxError",
+    "Query",
+    "TriplePattern",
+    "Var",
+    "parse_bgp",
+    "parse_pattern",
+]

@@ -11,16 +11,21 @@ shorthand of :func:`parse_pattern`); evaluation binds them left to
 right, driving each pattern through the engine's indexed
 ``query(s, p, o)`` lookups, most-selective pattern first.
 
->>> from repro import infer ... (see examples/ and tests for full usage)
+The :class:`repro.Store` facade folds this evaluator into its unified
+``query()`` entry point — ``store.query("?s rdf:type ex:Person")``
+parses via :func:`parse_bgp` and executes here (see examples/ and
+tests for full usage).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.engine import InferrayEngine
-from ..rdf.terms import IRI, Term
+from ..rdf.terms import IRI, Literal, Term
+from ..rdf.vocabulary import OWL, RDF, RDFS, XSD
 
 
 @dataclass(frozen=True)
@@ -90,6 +95,114 @@ def parse_pattern(
         return value
 
     return TriplePattern(convert(subject), convert(predicate), convert(obj))
+
+
+class BGPSyntaxError(ValueError):
+    """Raised by :func:`parse_bgp` on malformed pattern text."""
+
+
+#: Well-known prefixes expanded by :func:`parse_bgp`.
+BGP_PREFIXES: Dict[str, str] = {
+    "rdf": RDF.prefix,
+    "rdfs": RDFS.prefix,
+    "owl": OWL.prefix,
+    "xsd": XSD.prefix,
+}
+
+_BGP_TOKEN = re.compile(
+    r'<[^<>\s]*>'                                   # <iri>
+    r'|"(?:[^"\\]|\\.)*"(?:\^\^<[^<>\s]*>|@[\w-]+)?'  # "literal"^^<dt> / @lang
+    r'|\S+'                                         # var / prefixed / bare
+)
+
+_LITERAL_UNESCAPES = [
+    ("\\n", "\n"), ("\\r", "\r"), ("\\t", "\t"),
+    ('\\"', '"'), ("\\\\", "\\"),
+]
+
+
+def _bgp_term(token: str) -> PatternTerm:
+    """One BGP token → Var or RDF term (see :func:`parse_bgp`)."""
+    if token.startswith("?"):
+        if len(token) == 1:
+            raise BGPSyntaxError("'?' without a variable name")
+        return Var(token[1:])
+    if token == "a":  # the SPARQL/Turtle shorthand
+        return RDF.type
+    if token.startswith("<") and token.endswith(">"):
+        return IRI(token[1:-1])
+    if token.startswith('"'):
+        match = re.fullmatch(
+            r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^<>\s]*)>|@([\w-]+))?', token
+        )
+        if match is None:
+            raise BGPSyntaxError(f"malformed literal {token!r}")
+        lexical, datatype, language = match.groups()
+        for escaped, plain in _LITERAL_UNESCAPES:
+            lexical = lexical.replace(escaped, plain)
+        return Literal(lexical, datatype, language)
+    prefix, colon, local = token.partition(":")
+    if colon and prefix in BGP_PREFIXES:
+        return IRI(BGP_PREFIXES[prefix] + local)
+    # Anything else is taken verbatim as an IRI — the test/example
+    # corpus uses compact "ex:name" IRIs that are literal strings.
+    return IRI(token)
+
+
+def parse_bgp(text: str) -> List[TriplePattern]:
+    """Parse a BGP string like ``"?s rdf:type ex:Person"`` into patterns.
+
+    Grammar (a pragmatic SPARQL-BGP subset): whitespace-separated
+    triples of tokens, with statements separated by ``.`` (a lone dot
+    token, a trailing dot on a token, or a newline at a statement
+    boundary).  Tokens: ``?name`` variables, ``<iri>`` references,
+    ``"literal"`` (optionally ``^^<datatype>`` or ``@lang``),
+    ``prefix:local`` with the well-known prefixes of
+    :data:`BGP_PREFIXES`, the ``a`` shorthand for ``rdf:type``, and
+    bare strings (taken verbatim as IRIs).
+
+    >>> parse_bgp("?s rdf:type ex:Person")
+    [TriplePattern(subject=?s, predicate=IRI(value='http://www.w3.org/1999/02/22-rdf-syntax-ns#type'), object=IRI(value='ex:Person'))]
+    """
+    tokens: List[str] = []
+    for raw in _BGP_TOKEN.findall(text):
+        if raw == ".":
+            tokens.append(".")
+            continue
+        # A trailing dot on a bare/prefixed token terminates a statement
+        # (IRIs in angle brackets and literals keep their dots).
+        if (
+            raw.endswith(".")
+            and not raw.startswith(("<", '"'))
+            and len(raw) > 1
+        ):
+            tokens.append(raw[:-1])
+            tokens.append(".")
+        else:
+            tokens.append(raw)
+
+    patterns: List[TriplePattern] = []
+    current: List[PatternTerm] = []
+    for token in tokens:
+        if token == ".":
+            if current:
+                raise BGPSyntaxError(
+                    f"statement has {len(current)} term(s), expected 3: "
+                    f"{text!r}"
+                )
+            continue
+        current.append(_bgp_term(token))
+        if len(current) == 3:
+            patterns.append(TriplePattern(*current))
+            current = []
+    if current:
+        raise BGPSyntaxError(
+            f"trailing {len(current)} term(s) do not form a triple "
+            f"pattern: {text!r}"
+        )
+    if not patterns:
+        raise BGPSyntaxError(f"no triple patterns found in {text!r}")
+    return patterns
 
 
 class Query:

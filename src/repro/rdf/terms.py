@@ -131,3 +131,31 @@ def make_triple(subject: Term, predicate: Term, obj: Term) -> Triple:
 def iri(value: str) -> IRI:
     """Shorthand constructor used pervasively in tests and examples."""
     return IRI(value)
+
+
+def term_to_record(term: Term) -> list:
+    """A JSON-serializable record for a term (see :func:`term_from_record`).
+
+    The record is a small tagged list — ``["i", value]`` for IRIs,
+    ``["b", label]`` for blank nodes, ``["l", lexical, datatype,
+    language]`` for literals — used by the store persistence format.
+    """
+    if isinstance(term, IRI):
+        return ["i", term.value]
+    if isinstance(term, BlankNode):
+        return ["b", term.label]
+    if isinstance(term, Literal):
+        return ["l", term.lexical, term.datatype, term.language]
+    raise TermError(f"cannot serialize non-term {term!r}")
+
+
+def term_from_record(record) -> Term:
+    """Rebuild a term from a :func:`term_to_record` record."""
+    kind = record[0]
+    if kind == "i":
+        return IRI(record[1])
+    if kind == "b":
+        return BlankNode(record[1])
+    if kind == "l":
+        return Literal(record[1], record[2], record[3])
+    raise TermError(f"unknown term record kind {kind!r}")

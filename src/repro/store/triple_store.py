@@ -195,6 +195,59 @@ class TripleStore:
                 property_id, flat_pairs
             )
 
+    def load_table(
+        self, property_id: int, flat_pairs, *, presorted: bool = True
+    ) -> None:
+        """Install one property table from committed flat pair data.
+
+        With ``presorted=True`` (the default) the data must already be
+        sorted on ⟨s, o⟩ and duplicate-free — the invariant the
+        persistence format guarantees — so loading is O(read) with no
+        re-sort.  Replaces any existing table for the property.
+        """
+        if not len(flat_pairs):
+            self._tables.pop(property_id, None)
+            return
+        self._tables[property_id] = self._new_table(
+            property_id, flat_pairs, presorted=presorted
+        )
+
+    def table_arrays(self) -> Iterator[Tuple[int, PairArray]]:
+        """(property_id, committed flat ⟨s, o⟩ array) per non-empty
+        property, in ascending property-id order (deterministic for
+        serialization)."""
+        for property_id in sorted(self._tables):
+            table = self._tables[property_id]
+            if table:
+                yield property_id, table.pairs
+
+    def share_view(self) -> "TripleStore":
+        """A zero-copy read view over the current committed arrays.
+
+        The returned store's tables *alias* this store's pair arrays
+        (and any materialised ⟨o, s⟩ caches).  This is safe because
+        committed arrays are never mutated in place — every merge
+        replaces a table's array wholesale — so later writes to this
+        store leave the view frozen at the current state: copy-on-write
+        snapshot semantics for free.  The view must only be read.
+        """
+        view = TripleStore(
+            algorithm=self._algorithm,
+            tracer=None,
+            cache_os=self.cache_os,
+            backend=self._kernels,
+        )
+        for property_id, table in self._tables.items():
+            if not table:
+                continue
+            shared = view._new_table(property_id, table.pairs, presorted=True)
+            if table.has_os_cache:
+                # Share the committed ⟨o, s⟩ permutation too; the owner
+                # invalidates by *replacing* it, never by mutating.
+                shared._os_cache = table._os_cache
+            view._tables[property_id] = shared
+        return view
+
     # ------------------------------------------------------------------
     # Figure-5 iteration update
     # ------------------------------------------------------------------

@@ -74,3 +74,76 @@ class TestRulesCommand:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStoreCommands:
+    def test_save_load_round_trip(self, sample_file, tmp_path, capsys):
+        store_path = str(tmp_path / "c.store")
+        assert main(["save", sample_file, "-o", store_path]) == 0
+        assert "inferred" in capsys.readouterr().err
+
+        out_path = str(tmp_path / "out.nt")
+        assert main(["load", store_path, "-o", out_path]) == 0
+        capsys.readouterr()
+        assert len(list(parse_file(out_path))) == 3
+
+    def test_load_summary(self, sample_file, tmp_path, capsys):
+        store_path = str(tmp_path / "c.store")
+        main(["save", sample_file, "-o", store_path])
+        capsys.readouterr()
+        assert main(["load", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "total triples:     3" in out
+        assert "materialized:      True" in out
+
+    def test_query_store_file(self, sample_file, tmp_path, capsys):
+        store_path = str(tmp_path / "c.store")
+        main(["save", sample_file, "-o", store_path])
+        capsys.readouterr()
+        assert main(["query", store_path, "?s rdf:type ?t"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0] == "?s\t?t"
+        assert len(out) == 3  # header + b->h, b->m
+
+    def test_query_raw_dataset_and_ask(self, sample_file, capsys):
+        assert main(
+            ["query", sample_file,
+             "<http://ex/b> rdf:type <http://ex/m>"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_query_limit(self, sample_file, capsys):
+        assert main(
+            ["query", sample_file, "?s ?p ?o", "--limit", "1"]
+        ) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2  # header + 1 row
+
+    def test_query_bad_pattern_exits_2(self, sample_file, capsys):
+        assert main(["query", sample_file, "?s ?p"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_load_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["load", str(tmp_path / "nope.store")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_query_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["query", str(tmp_path / "nope.nt"), "?s ?p ?o"]
+        ) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_corrupt_store_exits_2(self, sample_file, tmp_path, capsys):
+        store_path = str(tmp_path / "c.store")
+        main(["save", sample_file, "-o", store_path])
+        capsys.readouterr()
+        with open(store_path, "rb") as handle:
+            blob = handle.read()
+        with open(store_path, "wb") as handle:
+            handle.write(blob[:14])  # magic + header-length cut off
+        assert main(["query", store_path, "?s ?p ?o"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_load_on_plain_nt_exits_2(self, sample_file, capsys):
+        assert main(["load", sample_file]) == 2
+        assert "not a serialized store" in capsys.readouterr().err

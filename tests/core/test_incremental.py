@@ -117,3 +117,64 @@ class TestIncrementalEquivalence:
         engine.load_triples(subclass_chain(5))
         with pytest.raises(RuntimeError):
             engine.materialize_incremental([])
+
+
+class TestIncrementalEdgeCases:
+    """materialize_incremental boundary behaviour (Store-facing)."""
+
+    def test_empty_delta(self):
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(subclass_chain(10))
+        engine.materialize()
+        before = set(engine.triples())
+        stats = engine.materialize_incremental([])
+        assert stats.n_inferred == 0
+        assert stats.iterations == 0
+        assert set(engine.triples()) == before
+
+    def test_delta_that_only_rederives_existing(self):
+        # Assert a triple the closure already contains as an inference:
+        # nothing new may be derived, and the closure must not change.
+        base = [
+            Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+            Triple(ex("mammal"), RDFS.subClassOf, ex("animal")),
+            Triple(ex("Bart"), RDF.type, ex("human")),
+        ]
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(base)
+        engine.materialize()
+        derived = Triple(ex("Bart"), RDF.type, ex("animal"))
+        assert engine.contains(derived)
+        before = set(engine.triples())
+        stats = engine.materialize_incremental([derived])
+        assert stats.n_inferred == 0
+        assert set(engine.triples()) == before
+
+    def test_store_interleaved_add_remove_equals_batch(self):
+        """Equivalence through the Store API: interleaved add/remove
+        flushes must land on the batch closure of the survivors."""
+        from repro.core.store_api import Store
+
+        base = [
+            Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+            Triple(ex("Bart"), RDF.type, ex("human")),
+            Triple(ex("Lisa"), RDF.type, ex("human")),
+        ]
+        store = Store(base)
+        store.materialize()                      # full build
+        extra1 = Triple(ex("mammal"), RDFS.subClassOf, ex("animal"))
+        extra2 = Triple(ex("Maggie"), RDF.type, ex("human"))
+        store.add(extra1)
+        assert len(store)                        # flush: incremental
+        store.remove(Triple(ex("Lisa"), RDF.type, ex("human")))
+        store.add(extra2)
+        survivors = [base[0], base[1], extra1, extra2]
+        assert set(store.triples()) == batch_closure(
+            "rdfs-default", survivors
+        )
+        # And once more purely incrementally on the rebuilt base.
+        extra3 = Triple(ex("animal"), RDFS.subClassOf, ex("being"))
+        store.add(extra3)
+        assert set(store.triples()) == batch_closure(
+            "rdfs-default", survivors, [extra3]
+        )

@@ -1,0 +1,487 @@
+"""Tests for the unified Store facade (store_api.py).
+
+Covers the four tentpole capabilities — lazy materialization,
+snapshot-isolated reads, the unified query entry point, and
+persistence — plus the acceptance round-trip, on every available
+kernel backend.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.store_api import (
+    Snapshot,
+    Store,
+    StoreConfig,
+    StoreFormatError,
+    is_store_file,
+)
+from repro.kernels import numpy_available
+from repro.query.bgp import Query, TriplePattern, Var
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.rdf.vocabulary import RDF, RDFS
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def ex(name):
+    return IRI(f"ex:{name}")
+
+
+DATA = [
+    Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+    Triple(ex("mammal"), RDFS.subClassOf, ex("animal")),
+    Triple(ex("Bart"), RDF.type, ex("human")),
+    Triple(ex("Lisa"), RDF.type, ex("human")),
+]
+
+
+def batch_closure(triples, ruleset="rdfs-default"):
+    from repro.core.engine import InferrayEngine
+
+    engine = InferrayEngine(ruleset)
+    engine.load_triples(triples)
+    engine.materialize()
+    return set(engine.triples())
+
+
+class TestLazyMaterialization:
+    def test_constructor_does_not_materialize(self, backend):
+        store = Store(DATA, backend=backend)
+        assert store.stale
+        assert not store.engine.is_materialized
+
+    def test_read_triggers_materialization(self, backend):
+        store = Store(DATA, backend=backend)
+        assert Triple(ex("Bart"), RDF.type, ex("animal")) in store
+        assert not store.stale
+
+    def test_add_marks_stale_and_next_read_is_incremental(self, backend):
+        store = Store(DATA, backend=backend)
+        store.materialize()
+        store.add(Triple(ex("Maggie"), RDF.type, ex("human")))
+        assert store.stale
+        assert Triple(ex("Maggie"), RDF.type, ex("animal")) in store
+        assert set(store.triples()) == batch_closure(
+            DATA + [Triple(ex("Maggie"), RDF.type, ex("human"))]
+        )
+
+    def test_add_single_or_iterable(self):
+        store = Store()
+        assert store.add(Triple(ex("a"), RDF.type, ex("b"))) == 1
+        assert store.add([Triple(ex("c"), RDF.type, ex("d"))] * 2) == 2
+        assert store.n_asserted == 3
+
+    def test_every_read_form_flushes(self, backend):
+        reads = [
+            lambda s: len(s),
+            lambda s: list(s.triples()),
+            lambda s: list(s.query(None, RDF.type, None)),
+            lambda s: s.query("?x a ex:animal"),
+            lambda s: list(s.inferred()),
+            lambda s: s.snapshot(),
+        ]
+        for read in reads:
+            store = Store(DATA, backend=backend)
+            read(store)
+            assert not store.stale
+
+    def test_remove_triggers_rebuild(self, backend):
+        store = Store(DATA, backend=backend)
+        store.materialize()
+        store.remove(Triple(ex("Lisa"), RDF.type, ex("human")))
+        assert Triple(ex("Lisa"), RDF.type, ex("animal")) not in store
+        assert set(store.triples()) == batch_closure(DATA[:3])
+
+    def test_remove_pending_add_never_materializes_it(self):
+        store = Store(DATA)
+        extra = Triple(ex("Maggie"), RDF.type, ex("human"))
+        store.add(extra)
+        store.remove(extra)
+        assert Triple(ex("Maggie"), RDF.type, ex("animal")) not in store
+        assert set(store.triples()) == batch_closure(DATA)
+
+    def test_remove_beats_redundant_pending_add(self):
+        # T is asserted AND re-queued via add(): remove() must drop the
+        # queued copy and still retract the asserted one.
+        target = Triple(ex("Bart"), RDF.type, ex("human"))
+        store = Store(DATA)
+        store.materialize()
+        store.add(target)  # idempotent re-assert
+        store.remove(target)
+        assert target not in store
+        assert Triple(ex("Bart"), RDF.type, ex("animal")) not in store
+        assert set(store.triples()) == batch_closure(
+            [t for t in DATA if t != target]
+        )
+
+    def test_remove_drops_every_queued_duplicate(self):
+        target = Triple(ex("Maggie"), RDF.type, ex("human"))
+        store = Store(DATA)
+        store.add(target)
+        store.add(target)
+        store.remove(target)
+        assert target not in store
+        assert set(store.triples()) == batch_closure(DATA)
+
+    def test_incremental_timeout_leaves_store_stale_and_recovers(self):
+        from repro.core.engine import MaterializationTimeout
+        from repro.datasets.chains import subclass_chain
+
+        base = subclass_chain(30)
+        extra = [
+            Triple(
+                IRI("http://example.org/chain/n29"),
+                RDFS.subClassOf,
+                IRI("http://example.org/beyond"),
+            )
+        ]
+        store = Store(base)
+        store.materialize()
+        with pytest.raises(MaterializationTimeout):
+            store.engine.materialize_incremental(
+                extra, timeout_seconds=1e-9
+            )
+        # The aborted delta must not masquerade as a complete closure.
+        assert not store.engine.is_materialized
+        assert store.stale
+        # The next read recovers to the exact batch closure.
+        assert set(store.triples()) == batch_closure(base + extra)
+
+    def test_remove_unknown_is_noop(self):
+        store = Store(DATA)
+        store.remove(Triple(ex("nobody"), RDF.type, ex("nothing")))
+        assert set(store.triples()) == batch_closure(DATA)
+
+    def test_interleaved_add_remove_equals_batch(self, backend):
+        extra = Triple(ex("Maggie"), RDF.type, ex("human"))
+        store = Store(DATA, backend=backend)
+        store.materialize()
+        store.add(extra)
+        store.remove(Triple(ex("Lisa"), RDF.type, ex("human")))
+        assert set(store.triples()) == batch_closure(DATA[:3] + [extra])
+
+    def test_materialize_reports_flush_stats(self):
+        store = Store(DATA)
+        stats = store.materialize()
+        assert stats.n_inferred > 0
+        assert store.stats is stats
+        # Idempotent re-entry: no pending work -> zero-work stats.
+        again = store.materialize()
+        assert again.n_inferred == 0
+        assert again.iterations == 0
+
+
+class TestUnifiedQuery:
+    @pytest.fixture()
+    def store(self):
+        return Store(
+            DATA + [Triple(ex("Bart"), ex("sister"), ex("Lisa"))]
+        )
+
+    def test_pattern_form(self, store):
+        types = {t.object for t in store.query(ex("Bart"), RDF.type, None)}
+        assert types == {ex("human"), ex("mammal"), ex("animal")}
+
+    def test_pattern_keywords(self, store):
+        subjects = {
+            t.subject for t in store.query(predicate=RDF.type, obj=ex("animal"))
+        }
+        assert subjects == {ex("Bart"), ex("Lisa")}
+
+    def test_unknown_term_matches_nothing(self, store):
+        assert list(store.query(ex("nobody"), None, None)) == []
+
+    def test_bgp_string(self, store):
+        solutions = store.query("?who a ex:animal")
+        assert {s["who"] for s in solutions} == {ex("Bart"), ex("Lisa")}
+
+    def test_bgp_string_join(self, store):
+        solutions = store.query("?b ex:sister ?s . ?s a ex:mammal")
+        assert solutions == [{"b": ex("Bart"), "s": ex("Lisa")}]
+
+    def test_triple_pattern_objects(self, store):
+        pattern = TriplePattern(Var("x"), RDFS.subClassOf, Var("y"))
+        assert len(store.query(pattern)) == len(store.query([pattern]))
+
+    def test_query_object_passthrough(self, store):
+        query = Query.parse(("?x", RDF.type, "ex:animal"))
+        assert len(store.query(query)) == 2
+
+    def test_select_and_ask(self, store):
+        rows = store.select("?who a ex:animal", "who")
+        assert sorted(str(r[0]) for r in rows) == ["ex:Bart", "ex:Lisa"]
+        assert store.ask("ex:Bart a ex:animal")
+        assert not store.ask("ex:Lisa a ex:unicorn")
+
+    def test_empty_pattern_list_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.query([])
+
+
+class TestInferredAsserted:
+    def test_split_matches_definition(self):
+        store = Store(DATA)
+        asserted = set(store.asserted())
+        inferred = set(store.inferred())
+        assert asserted == set(DATA)
+        assert asserted.isdisjoint(inferred)
+        assert asserted | inferred == set(store.triples())
+
+    def test_duplicate_assertions_collapse(self):
+        store = Store(DATA + DATA)
+        assert len(store.asserted()) == len(DATA)
+
+    def test_asserted_triple_rederived_is_not_inferred(self):
+        # subClassOf(human, animal) is derivable AND asserted: the
+        # asserted side wins in the split.
+        data = DATA + [Triple(ex("human"), RDFS.subClassOf, ex("animal"))]
+        store = Store(data)
+        assert Triple(ex("human"), RDFS.subClassOf, ex("animal")) not in set(
+            store.inferred()
+        )
+
+
+class TestSnapshots:
+    def test_snapshot_is_point_in_time(self, backend):
+        store = Store(DATA, backend=backend)
+        snapshot = store.snapshot()
+        before = set(snapshot.triples())
+        store.add(Triple(ex("Maggie"), RDF.type, ex("human")))
+        assert Triple(ex("Maggie"), RDF.type, ex("animal")) in store
+        assert set(snapshot.triples()) == before
+        assert Triple(ex("Maggie"), RDF.type, ex("animal")) not in snapshot
+
+    def test_snapshot_survives_deletion_rebuild(self, backend):
+        store = Store(DATA, backend=backend)
+        snapshot = store.snapshot()
+        store.remove(Triple(ex("Lisa"), RDF.type, ex("human")))
+        assert Triple(ex("Lisa"), RDF.type, ex("animal")) not in store
+        assert Triple(ex("Lisa"), RDF.type, ex("animal")) in snapshot
+        assert set(snapshot.triples()) == batch_closure(DATA)
+
+    def test_snapshot_queries(self):
+        store = Store(DATA)
+        snapshot = store.snapshot()
+        assert isinstance(snapshot, Snapshot)
+        assert {s["who"] for s in snapshot.query("?who a ex:animal")} == {
+            ex("Bart"),
+            ex("Lisa"),
+        }
+        assert len(snapshot) == len(store)
+        assert set(snapshot.inferred()) == set(store.inferred())
+
+    def test_snapshot_is_cheap_no_inference(self):
+        store = Store(DATA)
+        store.materialize()
+        stats_before = store.engine.stats
+        snapshot = store.snapshot()
+        assert store.engine.stats is stats_before
+        assert snapshot.n_triples == store.n_triples
+
+
+class TestPersistence:
+    def test_round_trip(self, backend, tmp_path):
+        """Acceptance: build -> materialize -> save -> load answers
+        identically without re-running inference."""
+        path = str(tmp_path / "closure.store")
+        store = Store(
+            DATA + [Triple(ex("Bart"), ex("sister"), ex("Lisa"))],
+            backend=backend,
+        )
+        store.materialize()
+        store.save(path)
+        assert is_store_file(path)
+
+        loaded = Store.load(path, backend=backend)
+        assert loaded.engine.is_materialized
+        assert loaded.engine.stats is None  # nothing ran at load
+        assert sorted(t.n3() for t in loaded.triples()) == sorted(
+            t.n3() for t in store.triples()
+        )
+        # Pattern and BGP queries work; still no inference ran.
+        assert {
+            t.object for t in loaded.query(ex("Bart"), RDF.type, None)
+        } == {ex("human"), ex("mammal"), ex("animal")}
+        assert loaded.query("?b ex:sister ?s") == [
+            {"b": ex("Bart"), "s": ex("Lisa")}
+        ]
+        assert loaded.engine.stats is None
+        assert set(loaded.inferred()) == set(store.inferred())
+
+    def test_cross_backend_round_trip(self, tmp_path):
+        if not numpy_available():
+            pytest.skip("needs numpy for the cross-backend leg")
+        path = str(tmp_path / "closure.store")
+        store = Store(DATA, backend="numpy")
+        store.save(path)
+        loaded = Store.load(path, backend="python")
+        assert set(loaded.triples()) == set(store.triples())
+        assert loaded.engine.kernels.name == "python"
+
+    def test_literals_and_bnodes_round_trip(self, tmp_path):
+        from repro.rdf.terms import BlankNode
+
+        path = str(tmp_path / "b.store")
+        data = [
+            Triple(BlankNode("b0"), RDF.type, ex("human")),
+            Triple(ex("Bart"), ex("name"), Literal("Bart")),
+            Triple(
+                ex("Bart"),
+                ex("age"),
+                Literal("10", "http://www.w3.org/2001/XMLSchema#integer"),
+            ),
+            Triple(ex("Bart"), ex("motto"), Literal("ay caramba", None, "es")),
+            Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+        ]
+        store = Store(data)
+        store.save(path)
+        loaded = Store.load(path)
+        assert set(loaded.triples()) == set(store.triples())
+        assert set(loaded.asserted()) == set(store.asserted())
+
+    def test_loaded_store_accepts_mutations(self, tmp_path):
+        path = str(tmp_path / "m.store")
+        store = Store(DATA)
+        store.save(path)
+        loaded = Store.load(path)
+        loaded.add(Triple(ex("Maggie"), RDF.type, ex("human")))
+        assert Triple(ex("Maggie"), RDF.type, ex("animal")) in loaded
+        loaded.remove(Triple(ex("Bart"), RDF.type, ex("human")))
+        assert Triple(ex("Bart"), RDF.type, ex("animal")) not in loaded
+
+    def test_save_flushes_pending(self, tmp_path):
+        path = str(tmp_path / "p.store")
+        store = Store(DATA)
+        store.add(Triple(ex("Maggie"), RDF.type, ex("human")))
+        store.save(path)
+        loaded = Store.load(path)
+        assert Triple(ex("Maggie"), RDF.type, ex("animal")) in loaded
+
+    def test_ruleset_and_empty_store_round_trip(self, tmp_path):
+        path = str(tmp_path / "e.store")
+        store = Store(ruleset="rho-df")
+        store.save(path)
+        loaded = Store.load(path)
+        assert loaded.engine.ruleset_name == "rho-df"
+        assert len(loaded) == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.store"
+        path.write_bytes(b"definitely not a store")
+        assert not is_store_file(str(path))
+        with pytest.raises(StoreFormatError):
+            Store.load(str(path))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = str(tmp_path / "t.store")
+        store = Store(DATA)
+        store.save(path)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-8])
+        with pytest.raises(StoreFormatError):
+            Store.load(str(path))
+
+    def test_custom_ruleset_needs_override(self, tmp_path):
+        from repro.rules.rulesets import get_ruleset
+
+        path = str(tmp_path / "c.store")
+        store = Store(DATA, ruleset=get_ruleset("rdfs-default"))
+        store.save(path)
+        with pytest.raises(StoreFormatError):
+            Store.load(path)
+        loaded = Store.load(path, ruleset="rdfs-default")
+        assert set(loaded.triples()) == set(store.triples())
+
+
+class TestStoreConfig:
+    def test_config_object(self):
+        config = StoreConfig(ruleset="rho-df", backend="python")
+        store = Store(DATA, config=config)
+        assert store.engine.ruleset_name == "rho-df"
+        assert store.engine.kernels.name == "python"
+
+    def test_config_with_overrides(self):
+        config = StoreConfig(ruleset="rho-df")
+        store = Store(DATA, config=config, ruleset="rdfs-full")
+        assert store.engine.ruleset_name == "rdfs-full"
+
+    def test_timeout_propagates(self):
+        from repro.core.engine import MaterializationTimeout
+        from repro.datasets.bsbm import bsbm_like
+
+        store = Store(bsbm_like(500), timeout_seconds=1e-9)
+        with pytest.raises(MaterializationTimeout):
+            store.materialize()
+
+    def test_timeout_bounds_deletion_rebuild(self):
+        from repro.core.engine import InferrayEngine, MaterializationTimeout
+
+        engine = InferrayEngine("rdfs-default")
+        engine.load_triples(DATA)
+        engine.materialize()
+        with pytest.raises(MaterializationTimeout):
+            engine.retract_and_rematerialize(
+                [DATA[-1]], timeout_seconds=1e-12
+            )
+
+
+class TestDeprecatedShims:
+    def test_infer_warns_and_works(self):
+        from repro.core.api import infer
+
+        with pytest.warns(DeprecationWarning):
+            graph = infer(DATA)
+        assert Triple(ex("Bart"), RDF.type, ex("animal")) in graph
+
+    def test_infer_with_stats_warns(self):
+        from repro.core.api import infer_with_stats
+
+        with pytest.warns(DeprecationWarning):
+            graph, stats = infer_with_stats(DATA)
+        assert stats.n_inferred > 0
+        assert len(graph) == stats.n_total
+
+    def test_inferred_model_warns_and_diffs_encoded(self):
+        from repro.core.api import InferredModel
+
+        with pytest.warns(DeprecationWarning):
+            model = InferredModel(DATA)
+        deductions = model.deductions()
+        assert Triple(ex("Bart"), RDF.type, ex("animal")) in deductions
+        assert all(t not in set(DATA) for t in deductions)
+
+    def test_load_and_materialize_warns(self, tmp_path):
+        from repro.core.api import load_and_materialize
+        from repro.rdf.ntriples import write_file
+
+        path = str(tmp_path / "d.nt")
+        write_file(
+            [
+                Triple(IRI("http://h"), RDFS.subClassOf, IRI("http://m")),
+                Triple(IRI("http://b"), RDF.type, IRI("http://h")),
+            ],
+            path,
+        )
+        with pytest.warns(DeprecationWarning):
+            engine = load_and_materialize(path)
+        assert engine.contains(
+            Triple(IRI("http://b"), RDF.type, IRI("http://m"))
+        )
+
+    def test_top_level_imports_still_work(self):
+        import repro
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # imports alone must not warn
+            assert repro.infer is not None
+            assert repro.InferredModel is not None
+            assert repro.Store is not None

@@ -14,6 +14,7 @@ FAST_EXAMPLES = [
     "engine_comparison.py",
     "taxonomy_reasoning.py",
     "query_and_update.py",
+    "store_serving.py",
 ]
 
 

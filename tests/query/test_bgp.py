@@ -124,3 +124,65 @@ class TestValidation:
         pattern = TriplePattern(Var("s"), RDF.type, ex("c"))
         assert pattern.selectivity({}) == 2
         assert pattern.selectivity({Var("s"): ex("a")}) == 3
+
+
+class TestParseBGP:
+    def test_single_pattern_with_prefix(self):
+        from repro.query.bgp import parse_bgp
+        from repro.rdf.vocabulary import RDF as RDF_NS
+
+        (pattern,) = parse_bgp("?s rdf:type ex:Person")
+        assert pattern.subject == Var("s")
+        assert pattern.predicate == RDF_NS.type
+        assert pattern.object == IRI("ex:Person")
+
+    def test_a_shorthand_and_angle_iris(self):
+        from repro.query.bgp import parse_bgp
+
+        (pattern,) = parse_bgp("<http://ex/s> a <http://ex/C>")
+        assert pattern.subject == IRI("http://ex/s")
+        assert pattern.predicate == RDF.type
+        assert pattern.object == IRI("http://ex/C")
+
+    def test_multiple_statements_dot_and_newline(self):
+        from repro.query.bgp import parse_bgp
+
+        by_dot = parse_bgp("?x a ex:C . ?x ex:p ?y")
+        by_newline = parse_bgp("?x a ex:C\n?x ex:p ?y")
+        trailing = parse_bgp("?x a ex:C.\n?x ex:p ?y .")
+        assert by_dot == by_newline == trailing
+        assert len(by_dot) == 2
+
+    def test_literals(self):
+        from repro.query.bgp import parse_bgp
+        from repro.rdf.terms import Literal
+
+        (p1,) = parse_bgp('?x ex:name "Bart"')
+        assert p1.object == Literal("Bart")
+        (p2,) = parse_bgp(
+            '?x ex:age "10"^^<http://www.w3.org/2001/XMLSchema#integer>'
+        )
+        assert p2.object == Literal(
+            "10", "http://www.w3.org/2001/XMLSchema#integer"
+        )
+        (p3,) = parse_bgp('?x ex:motto "ay\\ncaramba"@es')
+        assert p3.object == Literal("ay\ncaramba", None, "es")
+
+    def test_errors(self):
+        from repro.query.bgp import BGPSyntaxError, parse_bgp
+
+        with pytest.raises(BGPSyntaxError):
+            parse_bgp("?x ex:p")          # 2 terms
+        with pytest.raises(BGPSyntaxError):
+            parse_bgp("?x ex:p ?y . ?z")  # trailing fragment
+        with pytest.raises(BGPSyntaxError):
+            parse_bgp("")                 # nothing
+        with pytest.raises(BGPSyntaxError):
+            parse_bgp("? ex:p ?y")        # unnamed variable
+
+    def test_query_from_parsed_patterns(self, engine):
+        from repro.query.bgp import parse_bgp
+
+        query = Query(parse_bgp("?x a ex:person"))
+        names = {row[0] for row in query.select(engine, "x")}
+        assert names == {ex("alice"), ex("bob"), ex("carol")}
