@@ -16,16 +16,24 @@ Backends: python benchmarks/bench_table2_rdfs.py --backend numpy
          runs the Inferray engine under the pure-Python kernels AND the
          requested kernel backend side by side and reports per-cell
          speedups (see repro.kernels).
+Parallel: --workers N (default 4) additionally measures the Inferray
+         engine sequentially vs under the dependency-aware parallel
+         rule scheduler with N workers (rdfs-default fragment) and
+         reports per-dataset throughput; --workers 1 skips it.
 JSON:    --json [PATH] additionally writes a machine-readable record
          set (default PATH: BENCH_table2.json) — one entry per cell
-         with dataset, engine, backend, ruleset, seconds, n_inferred.
+         with dataset, engine, backend, ruleset, seconds, n_inferred,
+         plus a top-level "parallel" section with the
+         sequential-vs-parallel cells and the mean speedup.
 Smoke:   --smoke restricts to one tiny dataset with a single run per
-         cell (the CI smoke job uses --smoke --json).
+         cell (the CI smoke job uses --smoke --json and validates the
+         parallel section).
 Pytest:  pytest benchmarks/bench_table2_rdfs.py --benchmark-only
 """
 
 import argparse
 import json
+import statistics
 
 import pytest
 
@@ -95,6 +103,83 @@ def run_backend_table(backend, timeout=TIMEOUT, runs=1, subset=None):
     return results
 
 
+def run_parallel_comparison(
+    workers, *, backend="auto", fragment="rdfs-default", timeout=TIMEOUT,
+    runs=1, subset=None
+):
+    """Inferray under workers=1 vs workers=N on each workload.
+
+    Both legs run on the *same* kernel ``backend`` (the one the rest of
+    the invocation measures).  Returns the JSON-ready section:
+    per-dataset cells with sequential / parallel seconds + throughput,
+    and the mean ``speedup`` across the cells that completed (the field
+    the CI smoke job asserts on).
+    """
+    from repro.kernels import resolve_backend
+
+    backend_name = resolve_backend(backend).name
+    cells = []
+    speedups = []
+    for dataset_name, data in subset or workloads():
+        seq = run_engine(
+            "inferray", fragment, data, dataset_name=dataset_name,
+            timeout_seconds=timeout, warmup=0, runs=runs,
+            engine_kwargs={"workers": 1, "backend": backend},
+            label="sequential",
+        )
+        par = run_engine(
+            "inferray", fragment, data, dataset_name=dataset_name,
+            timeout_seconds=timeout, warmup=0, runs=runs,
+            engine_kwargs={"workers": workers, "backend": backend},
+            label=f"workers-{workers}",
+        )
+        speedup = None
+        if seq.seconds and par.seconds:
+            speedup = seq.seconds / par.seconds
+            speedups.append(speedup)
+        cells.append(
+            {
+                "dataset": dataset_name,
+                "ruleset": fragment,
+                "backend": backend_name,
+                "workers": workers,
+                "sequential_seconds": seq.seconds,
+                "parallel_seconds": par.seconds,
+                "sequential_throughput": seq.throughput,
+                "parallel_throughput": par.throughput,
+                "n_inferred": par.n_inferred,
+                "speedup": speedup,
+            }
+        )
+    return {
+        "workers": workers,
+        "ruleset": fragment,
+        "backend": backend_name,
+        "speedup": statistics.fmean(speedups) if speedups else None,
+        "cells": cells,
+    }
+
+
+def _report_parallel_comparison(section):
+    workers = section["workers"]
+    print(
+        f"\nParallel rule scheduler — sequential vs {workers} workers "
+        f"({section['ruleset']}, inferred triples/s)"
+    )
+    for cell in section["cells"]:
+        seq_tps = cell["sequential_throughput"]
+        par_tps = cell["parallel_throughput"]
+        if seq_tps is None or par_tps is None:
+            print(f"  {cell['dataset']}: timeout")
+            continue
+        print(
+            f"  {cell['dataset']}: {seq_tps:,.0f} -> {par_tps:,.0f} "
+            f"triples/s ({cell['speedup']:.2f}x)"
+        )
+    if section["speedup"] is not None:
+        print(f"  mean speedup: {section['speedup']:.2f}x")
+
+
 def _report_backend_comparison(backend, results, timeout=TIMEOUT):
     print(
         f"Table 2 — Inferray kernel backends (python vs {backend}), "
@@ -153,14 +238,17 @@ def _report_backend_comparison(backend, results, timeout=TIMEOUT):
         )
 
 
-def write_json_report(path, results, *, mode, timeout):
+def write_json_report(path, results, *, mode, timeout, parallel=None):
     """Write the cell records as machine-readable JSON (CI artifact).
 
     Each record carries dataset / engine / backend / ruleset /
     seconds (null on timeout) / n_input / n_inferred / n_total.  In
     backend-comparison mode the RunResult's engine column *is* the
     kernel backend label; in engine mode the backend is whatever
-    'auto' resolves to in this environment.
+    'auto' resolves to in this environment.  ``parallel`` (from
+    :func:`run_parallel_comparison`) lands as the top-level
+    ``"parallel"`` section — the CI smoke job fails when its
+    ``speedup`` field is absent.
     """
     from repro.kernels import resolve_backend
 
@@ -190,6 +278,8 @@ def write_json_report(path, results, *, mode, timeout):
         "timeout_seconds": timeout,
         "results": records,
     }
+    if parallel is not None:
+        payload["parallel"] = parallel
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -223,6 +313,15 @@ def main(argv=None):
         action="store_true",
         help="tiny single-run configuration for CI smoke checks",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="measure the parallel rule scheduler with N workers "
+        "against sequential execution (1 skips the comparison; "
+        "default 4)",
+    )
     args = parser.parse_args(argv)
 
     subset = None
@@ -254,9 +353,19 @@ def main(argv=None):
             print(results_matrix(results, columns=["python"]))
         else:
             _report_backend_comparison(backend, results, timeout=args.timeout)
+        # Seq-vs-parallel on the backend this invocation measured
+        # (availability was proven by the table run above).
+        parallel = None
+        if args.workers > 1:
+            parallel = run_parallel_comparison(
+                args.workers, backend=backend, timeout=args.timeout,
+                runs=runs, subset=subset,
+            )
+            _report_parallel_comparison(parallel)
         if args.json:
             write_json_report(
-                args.json, results, mode="backends", timeout=args.timeout
+                args.json, results, mode="backends", timeout=args.timeout,
+                parallel=parallel,
             )
         return
 
@@ -269,9 +378,16 @@ def main(argv=None):
     print()
     for line in speedup_summary(results):
         print(" ", line)
+    parallel = None
+    if args.workers > 1:
+        parallel = run_parallel_comparison(
+            args.workers, timeout=args.timeout, runs=runs, subset=subset
+        )
+        _report_parallel_comparison(parallel)
     if args.json:
         write_json_report(
-            args.json, results, mode="engines", timeout=args.timeout
+            args.json, results, mode="engines", timeout=args.timeout,
+            parallel=parallel,
         )
 
 

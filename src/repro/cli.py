@@ -41,6 +41,17 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the parallel rule scheduler "
+        "(0 = all cores; default: $REPRO_WORKERS or 1)",
+    )
+
+
 def _add_ruleset_argument(
     parser: argparse.ArgumentParser, *, default: Optional[str] = "rdfs-default"
 ) -> None:
@@ -85,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "python kernels and conflicts with --backend numpy)",
     )
     _add_backend_argument(infer_cmd)
+    _add_workers_argument(infer_cmd)
     infer_cmd.add_argument(
         "--timeout", type=float, default=None,
         help="abort after this many seconds",
@@ -96,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stats_cmd.add_argument("input", help="input N-Triples file")
     _add_ruleset_argument(stats_cmd)
     _add_backend_argument(stats_cmd)
+    _add_workers_argument(stats_cmd)
 
     rules_cmd = commands.add_parser(
         "rules", help="list the rules of a fragment (paper Table 5)"
@@ -113,6 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_ruleset_argument(save_cmd)
     _add_backend_argument(save_cmd)
+    _add_workers_argument(save_cmd)
 
     load_cmd = commands.add_parser(
         "load",
@@ -150,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_ruleset_argument(query_cmd, default=None)
     _add_backend_argument(query_cmd)
+    _add_workers_argument(query_cmd)
 
     return parser
 
@@ -157,8 +172,9 @@ def _build_parser() -> argparse.ArgumentParser:
 def _open_store(args: argparse.Namespace) -> Store:
     """A Store from either a serialized store or a raw dataset file."""
     ruleset = getattr(args, "ruleset", None)
+    workers = getattr(args, "workers", None)
     if is_store_file(args.input):
-        options = {"backend": args.backend}
+        options = {"backend": args.backend, "workers": workers}
         if ruleset:
             options["ruleset"] = ruleset
         return Store.load(args.input, **options)
@@ -166,6 +182,7 @@ def _open_store(args: argparse.Namespace) -> Store:
         args.input,
         ruleset=ruleset or "rdfs-default",
         backend=args.backend,
+        workers=workers,
     )
 
 
@@ -185,6 +202,7 @@ def _run_infer(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         backend=args.backend,
         timeout_seconds=args.timeout,
+        workers=args.workers,
     )
     loaded = store.add_file(args.input)
     store.materialize()
@@ -203,10 +221,14 @@ def _run_infer(args: argparse.Namespace) -> int:
 
 
 def _run_stats(args: argparse.Namespace) -> int:
-    store = Store(ruleset=args.ruleset, backend=args.backend)
+    store = Store(
+        ruleset=args.ruleset, backend=args.backend, workers=args.workers
+    )
     loaded = store.add_file(args.input)
     stats = store.materialize()
     print(f"kernel backend:    {store.engine.kernels.name}")
+    print(f"workers:           {stats.workers} "
+          f"({stats.n_waves} scheduler wave(s))")
     print(f"input triples:     {loaded}")
     print(f"inferred triples:  {stats.n_inferred}")
     print(f"total triples:     {stats.n_total}")
@@ -217,6 +239,12 @@ def _run_stats(args: argparse.Namespace) -> int:
     print(f"  rule firing:     {stats.inference_seconds * 1000:.1f} ms")
     print(f"  merge/dedup:     {stats.merge_seconds * 1000:.1f} ms")
     print(f"throughput:        {stats.triples_per_second:,.0f} inferred/s")
+    if stats.workers > 1:
+        print(
+            f"rule-firing speedup: {stats.parallel_speedup:.2f}x "
+            f"({stats.rule_busy_seconds * 1000:.1f} ms busy across "
+            f"{stats.workers} workers)"
+        )
     if stats.per_rule:
         print("per-rule emissions (raw, pre-dedup):")
         for name, count in sorted(
@@ -236,7 +264,9 @@ def _run_rules(args: argparse.Namespace) -> int:
 
 
 def _run_save(args: argparse.Namespace) -> int:
-    store = Store(ruleset=args.ruleset, backend=args.backend)
+    store = Store(
+        ruleset=args.ruleset, backend=args.backend, workers=args.workers
+    )
     loaded = store.add_file(args.input)
     stats = store.materialize()
     written = store.save(args.output)

@@ -7,6 +7,7 @@ from .engine import (
     MaterializationStats,
     MaterializationTimeout,
 )
+from .scheduler import ParallelRuleScheduler, resolve_workers
 
 __all__ = [
     "FixedPointError",
@@ -14,7 +15,9 @@ __all__ = [
     "InferredModel",
     "MaterializationStats",
     "MaterializationTimeout",
+    "ParallelRuleScheduler",
     "infer",
     "infer_with_stats",
     "load_and_materialize",
+    "resolve_workers",
 ]

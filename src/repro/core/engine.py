@@ -29,6 +29,7 @@ from ..rdf.terms import Term, Triple
 from ..rules.rulesets import get_ruleset
 from ..rules.spec import Rule, RuleContext, Vocab
 from ..store.triple_store import InferredBuffers, TripleStore
+from .scheduler import ParallelRuleScheduler, resolve_workers
 
 
 class FixedPointError(RuntimeError):
@@ -58,6 +59,20 @@ class MaterializationStats:
     merge_seconds: float = 0.0
     total_seconds: float = 0.0
     per_rule: Dict[str, int] = field(default_factory=dict)
+    #: Worker threads the rule scheduler ran with (1 = sequential).
+    workers: int = 1
+    #: Waves in the scheduler's dependency stratification.
+    n_waves: int = 0
+    #: Wall-clock seconds per wave index, summed across iterations.
+    per_wave_seconds: List[float] = field(default_factory=list)
+    #: Per-rule firing seconds, summed across iterations.
+    per_rule_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Summed per-rule busy time (the sequential-equivalent cost).
+    rule_busy_seconds: float = 0.0
+    #: Effective rule-firing concurrency: summed per-rule busy time over
+    #: wall-clock inference time.  ~1.0 when sequential; approaches the
+    #: worker count under ideal scaling.
+    parallel_speedup: float = 1.0
 
     @property
     def triples_per_second(self) -> float:
@@ -94,6 +109,12 @@ class InferrayEngine:
     os_cache:
         Keep the lazily-computed ⟨o, s⟩ sorted views cached (the
         paper's design); ``False`` recomputes them per use (ablation).
+    workers:
+        Worker threads for the dependency-aware rule scheduler
+        (:mod:`repro.core.scheduler`).  ``None`` (default) reads
+        ``$REPRO_WORKERS`` (falling back to 1 — sequential), ``0``
+        means all cores.  Engines with a memory ``tracer`` always run
+        sequentially (the tracer records a single address stream).
     """
 
     def __init__(
@@ -105,6 +126,7 @@ class InferrayEngine:
         tracer=None,
         max_iterations: int = 10_000,
         os_cache: bool = True,
+        workers: Optional[int] = None,
     ):
         if isinstance(ruleset, str):
             self.rules: List[Rule] = get_ruleset(ruleset)
@@ -115,6 +137,10 @@ class InferrayEngine:
         self.dictionary = Dictionary()
         self.vocab = Vocab(self.dictionary)
         self.kernels = resolve_backend(backend, algorithm=algorithm)
+        self.workers = 1 if tracer is not None else resolve_workers(workers)
+        self.scheduler = ParallelRuleScheduler(
+            self.rules, workers=self.workers
+        )
         self.main = TripleStore(
             algorithm=algorithm,
             tracer=tracer,
@@ -169,8 +195,14 @@ class InferrayEngine:
             return MaterializationStats(
                 n_input=self.main.n_triples,
                 n_total=self.main.n_triples,
+                workers=self.workers,
+                n_waves=self.scheduler.n_waves,
             )
-        stats = MaterializationStats(n_input=self.main.n_triples)
+        stats = MaterializationStats(
+            n_input=self.main.n_triples,
+            workers=self.workers,
+            n_waves=self.scheduler.n_waves,
+        )
         started = time.perf_counter()
         deadline = None if timeout_seconds is None else started + timeout_seconds
 
@@ -195,47 +227,71 @@ class InferrayEngine:
         new = self.main
         iteration = 0
 
-        # Lines 4-8: fixed point.
-        while new:
-            iteration += 1
-            if iteration > self.max_iterations:
-                raise FixedPointError(
-                    f"no fixed point after {self.max_iterations} iterations"
+        # Lines 4-8: fixed point, rules fired through the wave scheduler.
+        with self.scheduler.session() as executor:
+            while new:
+                iteration += 1
+                if iteration > self.max_iterations:
+                    raise FixedPointError(
+                        f"no fixed point after {self.max_iterations} "
+                        f"iterations (workers={self.workers})"
+                    )
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise MaterializationTimeout(
+                        f"inferray: timeout after {timeout_seconds}s "
+                        f"(iteration {iteration}, workers={self.workers})"
+                    )
+                infer_started = time.perf_counter()
+                outcome = self.scheduler.run_iteration(
+                    main=self.main,
+                    new=new,
+                    vocab=self.vocab,
+                    kernels=self.kernels,
+                    iteration=iteration,
+                    theta_prepass_done=bool(theta_rules),
+                    executor=executor,
                 )
-            if deadline is not None and time.perf_counter() > deadline:
-                raise MaterializationTimeout(
-                    f"inferray: timeout after {timeout_seconds}s "
-                    f"(iteration {iteration})"
+                stats.inference_seconds += (
+                    time.perf_counter() - infer_started
                 )
-            buffers = InferredBuffers()
-            ctx = RuleContext(
-                main=self.main,
-                new=new,
-                out=buffers,
-                vocab=self.vocab,
-                iteration=iteration,
-                theta_prepass_done=bool(theta_rules),
-                kernels=self.kernels,
-            )
-            infer_started = time.perf_counter()
-            for rule in self.rules:
-                rule.apply(ctx)
-            stats.inference_seconds += time.perf_counter() - infer_started
+                self._accumulate_outcome(stats, outcome)
 
-            merge_started = time.perf_counter()
-            new = self.main.merge_inferred(buffers)
-            stats.merge_seconds += time.perf_counter() - merge_started
-
-            for name, count in ctx.stats.items():
-                stats.per_rule[name] = stats.per_rule.get(name, 0) + count
+                merge_started = time.perf_counter()
+                new = self.main.merge_inferred(outcome.out)
+                stats.merge_seconds += time.perf_counter() - merge_started
 
         stats.iterations = iteration
         stats.n_total = self.main.n_triples
         stats.n_inferred = stats.n_total - stats.n_input
         stats.total_seconds = time.perf_counter() - started
+        self._finalize_parallel_stats(stats)
         self.stats = stats
         self._materialized = True
         return stats
+
+    def _accumulate_outcome(self, stats, outcome) -> None:
+        """Fold one scheduled iteration's observability into ``stats``."""
+        for name, count in outcome.rule_counts.items():
+            stats.per_rule[name] = stats.per_rule.get(name, 0) + count
+        for name, seconds in outcome.rule_seconds.items():
+            stats.per_rule_seconds[name] = (
+                stats.per_rule_seconds.get(name, 0.0) + seconds
+            )
+        for index, seconds in enumerate(outcome.wave_seconds):
+            if index >= len(stats.per_wave_seconds):
+                stats.per_wave_seconds.append(0.0)
+            stats.per_wave_seconds[index] += seconds
+
+    @staticmethod
+    def _finalize_parallel_stats(stats) -> None:
+        """Derive the busy-time and effective-speedup summary fields."""
+        stats.rule_busy_seconds = sum(stats.per_rule_seconds.values())
+        if stats.inference_seconds > 0 and stats.rule_busy_seconds > 0:
+            stats.parallel_speedup = (
+                stats.rule_busy_seconds / stats.inference_seconds
+            )
+        else:
+            stats.parallel_speedup = 1.0
 
     def retract_and_rematerialize(
         self,
@@ -350,7 +406,11 @@ class InferrayEngine:
         # stale and the next materialize() recovers instead of serving
         # a partially-updated closure as complete.
         self._materialized = False
-        stats = MaterializationStats(n_input=self.main.n_triples)
+        stats = MaterializationStats(
+            n_input=self.main.n_triples,
+            workers=self.workers,
+            n_waves=self.scheduler.n_waves,
+        )
         started = time.perf_counter()
         deadline = None if timeout_seconds is None else started + timeout_seconds
 
@@ -363,41 +423,43 @@ class InferrayEngine:
         new = self.main.merge_inferred(seed)
 
         iteration = 1  # start past the θ pre-pass skip: deltas must close
-        while new:
-            iteration += 1
-            if iteration > self.max_iterations:
-                raise FixedPointError(
-                    f"no fixed point after {self.max_iterations} iterations"
+        with self.scheduler.session() as executor:
+            while new:
+                iteration += 1
+                if iteration > self.max_iterations:
+                    raise FixedPointError(
+                        f"no fixed point after {self.max_iterations} "
+                        f"iterations (workers={self.workers})"
+                    )
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise MaterializationTimeout(
+                        f"inferray: incremental timeout after "
+                        f"{timeout_seconds}s (workers={self.workers})"
+                    )
+                infer_started = time.perf_counter()
+                outcome = self.scheduler.run_iteration(
+                    main=self.main,
+                    new=new,
+                    vocab=self.vocab,
+                    kernels=self.kernels,
+                    iteration=iteration,
+                    theta_prepass_done=True,
+                    executor=executor,
                 )
-            if deadline is not None and time.perf_counter() > deadline:
-                raise MaterializationTimeout(
-                    f"inferray: incremental timeout after {timeout_seconds}s"
+                stats.inference_seconds += (
+                    time.perf_counter() - infer_started
                 )
-            buffers = InferredBuffers()
-            ctx = RuleContext(
-                main=self.main,
-                new=new,
-                out=buffers,
-                vocab=self.vocab,
-                iteration=iteration,
-                theta_prepass_done=True,
-                kernels=self.kernels,
-            )
-            infer_started = time.perf_counter()
-            for rule in self.rules:
-                rule.apply(ctx)
-            stats.inference_seconds += time.perf_counter() - infer_started
+                self._accumulate_outcome(stats, outcome)
 
-            merge_started = time.perf_counter()
-            new = self.main.merge_inferred(buffers)
-            stats.merge_seconds += time.perf_counter() - merge_started
-            for name, count in ctx.stats.items():
-                stats.per_rule[name] = stats.per_rule.get(name, 0) + count
+                merge_started = time.perf_counter()
+                new = self.main.merge_inferred(outcome.out)
+                stats.merge_seconds += time.perf_counter() - merge_started
 
         stats.iterations = iteration - 1
         stats.n_total = self.main.n_triples
         stats.n_inferred = stats.n_total - stats.n_input
         stats.total_seconds = time.perf_counter() - started
+        self._finalize_parallel_stats(stats)
         self._materialized = True
         return stats
 

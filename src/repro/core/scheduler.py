@@ -1,0 +1,212 @@
+"""Dependency-aware parallel rule scheduler (wave execution).
+
+One :class:`ParallelRuleScheduler` owns the rule list of an engine, the
+rule dependency graph derived from it
+(:class:`repro.rules.depgraph.RuleDependencyGraph`) and the resulting
+**wave** stratification.  Per fixed-point iteration the scheduler fires
+the rules wave by wave; within a wave every rule runs concurrently on a
+:class:`~concurrent.futures.ThreadPoolExecutor` (the NumPy kernel
+backend's sort/merge/join primitives release the GIL, so waves scale on
+real cores; the pure-Python backend interleaves but stays correct).
+
+Equivalence with sequential execution is by construction:
+
+* every rule of an iteration reads the same committed ``(main, new)``
+  snapshot — committed pair arrays are never mutated in place, and the
+  merge happens only at the iteration barrier, after all waves;
+* each rule emits into a **private** :class:`InferredBuffers`, so there
+  is no shared mutable state between concurrently firing rules;
+* the private buffers are absorbed into one combined buffer in
+  catalogue rule order (deterministic commit order) and pushed through
+  the existing Figure-5 merge, whose sort+dedup makes the committed
+  arrays a pure function of the *set* of emitted pairs — closures are
+  byte-identical regardless of worker count.
+
+Sequential execution is the ``workers=1`` special case of the same
+wave loop (no executor is spun up), so there is a single code path to
+test.  The remaining shared reads — the lazily cached ⟨o, s⟩ views —
+are benign under CPython: concurrent computation of a missing cache
+yields identical permutations and the last atomic assignment wins.
+
+Because outputs commit only at the iteration barrier, the wave order
+is a *schedule*, not a semantic dependency: it ensures producers fire
+no later than the consumers they feed (the standard rulesets collapse
+into one maximal-parallelism wave) and is the structure the eager
+per-wave merge on ROADMAP's open-items list will hang off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..kernels import KernelBackend
+from ..rules.depgraph import RuleDependencyGraph
+from ..rules.spec import Rule, RuleContext, Vocab
+from ..store.triple_store import InferredBuffers, TripleStore
+
+__all__ = [
+    "IterationOutcome",
+    "ParallelRuleScheduler",
+    "resolve_workers",
+]
+
+#: Environment default for the worker count (used when ``workers=None``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` request to a concrete positive count.
+
+    ``None`` reads the :data:`WORKERS_ENV` environment variable
+    (defaulting to 1 — sequential); ``0`` and negative values mean
+    "all cores" (``os.cpu_count()``).
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV}={raw!r} is not an integer worker count"
+            )
+    workers = int(workers)
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+@dataclass
+class IterationOutcome:
+    """What one scheduled iteration produced (pre-merge).
+
+    ``out`` holds every rule's emissions combined in catalogue order;
+    ``rule_counts`` / ``rule_seconds`` are per-rule observability and
+    ``wave_seconds[k]`` is the wall-clock barrier-to-barrier time of
+    wave *k*.
+    """
+
+    out: InferredBuffers
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+    rule_seconds: Dict[str, float] = field(default_factory=dict)
+    wave_seconds: List[float] = field(default_factory=list)
+
+
+class ParallelRuleScheduler:
+    """Wave-stratified, dependency-aware executor for a rule list."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        *,
+        workers: Optional[int] = None,
+        graph: Optional[RuleDependencyGraph] = None,
+    ):
+        self.rules: List[Rule] = list(rules)
+        self.workers = resolve_workers(workers)
+        self.graph = graph if graph is not None else RuleDependencyGraph(
+            self.rules
+        )
+        #: Wave stratification as lists of rule indexes (see depgraph).
+        self.waves: List[List[int]] = self.graph.stratify()
+
+    @property
+    def n_waves(self) -> int:
+        return len(self.waves)
+
+    def wave_names(self) -> List[List[str]]:
+        """Rule names per wave (observability)."""
+        return [[self.rules[i].name for i in wave] for wave in self.waves]
+
+    @contextmanager
+    def session(self) -> Iterator[Optional[ThreadPoolExecutor]]:
+        """Worker-pool context for one materialization run.
+
+        Yields ``None`` in the sequential (``workers=1``) case so the
+        wave loop runs inline; otherwise a live executor whose threads
+        are joined when the materialization finishes.
+        """
+        if self.workers <= 1:
+            yield None
+            return
+        executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-rule"
+        )
+        try:
+            yield executor
+        finally:
+            executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # One fixed-point iteration
+    # ------------------------------------------------------------------
+    def run_iteration(
+        self,
+        *,
+        main: TripleStore,
+        new: TripleStore,
+        vocab: Vocab,
+        kernels: KernelBackend,
+        iteration: int = 1,
+        theta_prepass_done: bool = False,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> IterationOutcome:
+        """Fire every rule once, wave by wave; returns the outcome.
+
+        All rules observe the same ``(main, new)`` snapshot; the caller
+        merges ``outcome.out`` afterwards (the per-iteration barrier).
+        """
+        outcome = IterationOutcome(out=InferredBuffers())
+        per_rule: List[Optional[tuple]] = [None] * len(self.rules)
+
+        def fire(rule_index: int) -> tuple:
+            rule = self.rules[rule_index]
+            buffers = InferredBuffers()
+            ctx = RuleContext(
+                main=main,
+                new=new,
+                out=buffers,
+                vocab=vocab,
+                iteration=iteration,
+                theta_prepass_done=theta_prepass_done,
+                kernels=kernels,
+            )
+            started = time.perf_counter()
+            rule.apply(ctx)
+            return buffers, ctx.stats, time.perf_counter() - started
+
+        for wave in self.waves:
+            wave_started = time.perf_counter()
+            if executor is not None and len(wave) > 1:
+                futures = [
+                    (index, executor.submit(fire, index)) for index in wave
+                ]
+                for index, future in futures:
+                    per_rule[index] = future.result()
+            else:
+                for index in wave:
+                    per_rule[index] = fire(index)
+            outcome.wave_seconds.append(time.perf_counter() - wave_started)
+
+        # Deterministic commit order: absorb in catalogue rule order.
+        for index, rule in enumerate(self.rules):
+            fired = per_rule[index]
+            if fired is None:  # pragma: no cover - every rule fires
+                continue
+            buffers, counts, elapsed = fired
+            outcome.out.absorb(buffers)
+            name = rule.name
+            outcome.rule_seconds[name] = (
+                outcome.rule_seconds.get(name, 0.0) + elapsed
+            )
+            for rule_name, count in counts.items():
+                outcome.rule_counts[rule_name] = (
+                    outcome.rule_counts.get(rule_name, 0) + count
+                )
+        return outcome

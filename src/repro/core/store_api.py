@@ -92,6 +92,9 @@ class StoreConfig:
     os_cache: bool = True
     max_iterations: int = 10_000
     timeout_seconds: Optional[float] = None
+    #: Worker threads for the parallel rule scheduler; ``None`` reads
+    #: ``$REPRO_WORKERS`` (default 1), ``0`` means all cores.
+    workers: Optional[int] = None
 
     def make_engine(self) -> InferrayEngine:
         """A fresh engine honouring this configuration."""
@@ -101,6 +104,7 @@ class StoreConfig:
             backend=self.backend,
             max_iterations=self.max_iterations,
             os_cache=self.os_cache,
+            workers=self.workers,
         )
 
 

@@ -15,6 +15,7 @@ from .classes import (
     TrivialTypeExpandRule,
     merge_join_groups,
 )
+from .depgraph import ANY, RuleDependencyGraph, RuleIO, rule_io
 from .rulesets import (
     RULESET_NAMES,
     get_ruleset,
@@ -25,6 +26,7 @@ from .spec import Rule, RuleContext, Vocab, table_or_none
 from .table5 import BY_NAME, TABLE5, RuleEntry, make_rules
 
 __all__ = [
+    "ANY",
     "AlphaRule",
     "BY_NAME",
     "BetaRule",
@@ -36,7 +38,9 @@ __all__ = [
     "ResourceRule",
     "Rule",
     "RuleContext",
+    "RuleDependencyGraph",
     "RuleEntry",
+    "RuleIO",
     "SameAsRule",
     "SymmetricPropertyRule",
     "TABLE5",
@@ -48,6 +52,7 @@ __all__ = [
     "make_rules",
     "merge_join_groups",
     "rule_entry",
+    "rule_io",
     "ruleset_rule_names",
     "table_or_none",
 ]

@@ -63,6 +63,20 @@ class InferredBuffers:
             self._chunks[property_id] = chunks
         chunks.append(flat_pairs)
 
+    def absorb(self, other: "InferredBuffers") -> None:
+        """Adopt another buffer set's contents as chunk references.
+
+        The parallel scheduler gives every rule a private buffer and
+        absorbs them in deterministic rule order; ``other`` must not be
+        mutated afterwards (its tail arrays are aliased, not copied).
+        """
+        for property_id, chunks in other.chunk_items():
+            own = self._chunks.get(property_id)
+            if own is None:
+                own = []
+                self._chunks[property_id] = own
+            own.extend(chunks)
+
     def chunk_items(self) -> Iterator[Tuple[int, List]]:
         """(property_id, [raw chunks…]) for every touched property."""
         for property_id in sorted(self._tails.keys() | self._chunks.keys()):

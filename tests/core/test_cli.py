@@ -147,3 +147,39 @@ class TestStoreCommands:
     def test_load_on_plain_nt_exits_2(self, sample_file, capsys):
         assert main(["load", sample_file]) == 2
         assert "not a serialized store" in capsys.readouterr().err
+
+
+class TestWorkersFlag:
+    def test_infer_with_workers(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--workers", "2"]) == 0
+        assert capsys.readouterr().out.count(" .") == 3
+
+    def test_infer_workers_zero_means_all_cores(self, sample_file, capsys):
+        assert main(["infer", sample_file, "--workers", "0"]) == 0
+        assert capsys.readouterr().out.count(" .") == 3
+
+    def test_stats_reports_workers_and_waves(self, sample_file, capsys):
+        assert main(["stats", sample_file, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "workers:           2" in out
+        assert "scheduler wave(s)" in out
+        assert "rule-firing speedup:" in out
+
+    def test_stats_sequential_omits_speedup_line(self, sample_file, capsys):
+        assert main(["stats", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "workers:           1" in out
+        assert "rule-firing speedup:" not in out
+
+    def test_save_and_query_accept_workers(
+        self, sample_file, tmp_path, capsys
+    ):
+        store_path = str(tmp_path / "c.store")
+        assert main(
+            ["save", sample_file, "-o", store_path, "--workers", "2"]
+        ) == 0
+        assert main(
+            ["query", store_path, "?s rdf:type ?t", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<http://ex/b>" in out

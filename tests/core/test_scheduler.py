@@ -1,0 +1,191 @@
+"""Unit tests for the parallel rule scheduler and worker resolution."""
+
+import pytest
+
+from repro.core.engine import (
+    FixedPointError,
+    InferrayEngine,
+    MaterializationTimeout,
+)
+from repro.core.scheduler import ParallelRuleScheduler, resolve_workers
+from repro.core.store_api import Store, StoreConfig
+from repro.datasets.chains import subclass_chain
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import RDF, RDFS
+from repro.rules.rulesets import get_ruleset
+from repro.rules.table5 import make_rules
+
+
+def ex(name):
+    return IRI(f"ex:{name}")
+
+
+INTRO = [
+    Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+    Triple(ex("mammal"), RDFS.subClassOf, ex("animal")),
+    Triple(ex("Bart"), RDF.type, ex("human")),
+]
+
+
+class TestResolveWorkers:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_zero_means_all_cores(self):
+        import os
+
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+        assert resolve_workers(-1) == (os.cpu_count() or 1)
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+
+class TestSchedulerStructure:
+    def test_waves_cover_all_rules(self):
+        scheduler = ParallelRuleScheduler(get_ruleset("rdfs-plus"))
+        indexes = sorted(i for wave in scheduler.waves for i in wave)
+        assert indexes == list(range(len(scheduler.rules)))
+
+    def test_wave_names(self):
+        scheduler = ParallelRuleScheduler(
+            make_rules(["SCM-SCO", "CAX-SCO"])
+        )
+        assert scheduler.wave_names() == [["SCM-SCO"], ["CAX-SCO"]]
+
+    def test_session_sequential_yields_no_executor(self):
+        scheduler = ParallelRuleScheduler(get_ruleset("rho-df"), workers=1)
+        with scheduler.session() as executor:
+            assert executor is None
+
+    def test_session_parallel_yields_executor(self):
+        scheduler = ParallelRuleScheduler(get_ruleset("rho-df"), workers=3)
+        with scheduler.session() as executor:
+            assert executor is not None
+            assert executor.submit(lambda: 41 + 1).result() == 42
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_closure_and_stats(self, workers):
+        engine = InferrayEngine("rdfs-default", workers=workers)
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert engine.contains(Triple(ex("Bart"), RDF.type, ex("animal")))
+        assert stats.workers == workers
+        assert stats.n_waves == 1  # rdfs-default is one recursive wave
+        assert stats.per_rule_seconds  # per-rule timings populated
+        assert stats.rule_busy_seconds > 0
+        assert stats.parallel_speedup > 0
+        assert len(stats.per_wave_seconds) == stats.n_waves
+
+    def test_byte_identical_tables_across_worker_counts(self):
+        reference = None
+        for workers in (1, 2, 4):
+            engine = InferrayEngine("rdfs-plus", workers=workers)
+            engine.load_triples(subclass_chain(20))
+            engine.materialize()
+            tables = [
+                (pid, bytes(flat.tobytes()))
+                for pid, flat in engine.main.table_arrays()
+            ]
+            if reference is None:
+                reference = tables
+            else:
+                assert tables == reference
+
+    def test_idempotent_noop_keeps_worker_fields(self):
+        engine = InferrayEngine("rdfs-default", workers=2)
+        engine.load_triples(INTRO)
+        engine.materialize()
+        again = engine.materialize()
+        assert again.iterations == 0
+        assert again.workers == 2
+        assert again.n_waves == 1
+
+    def test_repeated_materializations_reuse_scheduler(self):
+        engine = InferrayEngine("rdfs-default", workers=2)
+        engine.load_triples(INTRO[:1])
+        engine.materialize()
+        engine.load_triples(INTRO[1:])
+        engine.materialize()
+        engine.materialize_incremental(
+            [Triple(ex("Maggie"), RDF.type, ex("human"))]
+        )
+        assert engine.contains(
+            Triple(ex("Maggie"), RDF.type, ex("animal"))
+        )
+
+    def test_tracer_forces_sequential(self):
+        from repro.memsim.tracer import NullTracer
+
+        engine = InferrayEngine(
+            "rdfs-default", tracer=NullTracer(), workers=4
+        )
+        assert engine.workers == 1
+
+    def test_engine_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        engine = InferrayEngine("rdfs-default")
+        assert engine.workers == 2
+
+
+class TestErrorMessagesCarryWorkerCount:
+    @pytest.mark.parametrize("workers", (1, 3))
+    def test_fixed_point_error(self, workers):
+        engine = InferrayEngine(
+            "rdfs-default", max_iterations=0, workers=workers
+        )
+        engine.load_triples(INTRO)
+        with pytest.raises(FixedPointError, match=f"workers={workers}"):
+            engine.materialize()
+
+    @pytest.mark.parametrize("workers", (1, 3))
+    def test_timeout_error(self, workers):
+        engine = InferrayEngine("rdfs-default", workers=workers)
+        engine.load_triples(subclass_chain(50))
+        with pytest.raises(
+            MaterializationTimeout, match=f"workers={workers}"
+        ):
+            engine.materialize(timeout_seconds=-1.0)
+
+    def test_incremental_timeout_error(self):
+        engine = InferrayEngine("rdfs-default", workers=2)
+        engine.load_triples(INTRO)
+        engine.materialize()
+        with pytest.raises(MaterializationTimeout, match="workers=2"):
+            engine.materialize_incremental(
+                subclass_chain(50), timeout_seconds=-1.0
+            )
+
+
+class TestStoreIntegration:
+    def test_store_config_threads_workers(self):
+        store = Store(INTRO, config=StoreConfig(workers=2))
+        assert Triple(ex("Bart"), RDF.type, ex("animal")) in store
+        assert store.engine.workers == 2
+        assert store.stats.workers == 2
+
+    def test_store_kwarg_threads_workers(self):
+        store = Store(INTRO, workers=3)
+        assert store.engine.workers == 3
+        assert len(store) > len(INTRO)
+
+    def test_parallel_store_roundtrips_persistence(self, tmp_path):
+        path = str(tmp_path / "closure.store")
+        store = Store(INTRO, workers=2)
+        store.save(path)
+        reloaded = Store.load(path, workers=4)
+        assert reloaded.engine.workers == 4
+        assert set(reloaded.triples()) == set(store.triples())

@@ -1,9 +1,12 @@
-"""Property test: incremental materialization ≡ batch materialization."""
+"""Property tests: incremental materialization ≡ batch materialization,
+and the parallel scheduler's lazy incremental flushes through ``Store``
+≡ a from-scratch sequential rebuild."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import InferrayEngine
+from repro.core.store_api import Store, StoreConfig
 from repro.rdf.terms import IRI, Triple
 from repro.rdf.vocabulary import OWL, RDF, RDFS
 
@@ -100,3 +103,49 @@ def test_retract_all_of_second_batch_restores_first(batch2):
     # re-asserted one of the original triples (then it is removed too).
     if not (set(batch2) & set(first)):
         assert set(engine.triples()) == reference
+
+
+# ----------------------------------------------------------------------
+# Parallel-scheduler fuzz: random add/remove interleavings via Store
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    schema_and_data(),
+    schema_and_data(),
+    schema_and_data(),
+    st.data(),
+    st.sampled_from(["rdfs-default", "rdfs-plus"]),
+    st.sampled_from([2, 4]),
+)
+def test_parallel_interleaved_mutations_match_sequential_rebuild(
+    first, second, third, data, ruleset, workers
+):
+    """Lazy incremental flushes under ``workers>1`` ≡ fresh rebuild.
+
+    Interleaves adds, reads (which flush semi-naively under the
+    parallel scheduler) and removes (which rebuild), then compares the
+    closure against a from-scratch *sequential* store holding the same
+    surviving asserted set.
+    """
+    removed = data.draw(
+        st.lists(st.sampled_from(first), unique=True, max_size=len(first))
+        if first
+        else st.just([])
+    )
+    store = Store(config=StoreConfig(ruleset=ruleset, workers=workers))
+    store.add(first)
+    assert store.n_triples >= 0  # read: flushes the first batch
+    store.add(second)
+    store.remove(removed)  # wins over pending copies of the same triple
+    assert store.n_triples >= 0  # read: rebuild (removes) + delta
+    store.add(third)  # may re-assert removed triples
+
+    removed_set = set(removed)
+    surviving = (
+        [t for t in first if t not in removed_set]
+        + [t for t in second if t not in removed_set]
+        + list(third)
+    )
+    rebuild = Store(surviving, config=StoreConfig(ruleset=ruleset, workers=1))
+    assert set(store.triples()) == set(rebuild.triples())
+    assert store.stats.workers == workers

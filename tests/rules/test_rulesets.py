@@ -1,0 +1,89 @@
+"""Ruleset selection coverage: exact member lists and error paths."""
+
+import pytest
+
+from repro.rules.rulesets import (
+    RULESET_NAMES,
+    get_ruleset,
+    ruleset_rule_names,
+)
+
+#: The exact Table-5 rule names of every ruleset, in catalogue order.
+EXPECTED_NAMES = {
+    "rho-df": [
+        "CAX-SCO", "PRP-DOM", "PRP-RNG", "PRP-SPO1",
+        "SCM-DOM2", "SCM-RNG2", "SCM-SCO", "SCM-SPO",
+    ],
+    "rdfs-default": [
+        "CAX-SCO", "PRP-DOM", "PRP-RNG", "PRP-SPO1",
+        "SCM-DOM1", "SCM-DOM2", "SCM-RNG1", "SCM-RNG2",
+        "SCM-SCO", "SCM-SPO",
+    ],
+    "rdfs-full": [
+        "CAX-SCO", "PRP-DOM", "PRP-RNG", "PRP-SPO1",
+        "SCM-DOM1", "SCM-DOM2", "SCM-RNG1", "SCM-RNG2",
+        "SCM-SCO", "SCM-SPO",
+        # Half-circle axiom rules, catalogue order (rows 33-38).
+        "RDFS4", "RDFS8", "RDFS12", "RDFS13", "RDFS6", "RDFS10",
+    ],
+    "rdfs-plus": [
+        "CAX-EQC1", "CAX-EQC2", "CAX-SCO",
+        "EQ-REP-O", "EQ-REP-P", "EQ-REP-S", "EQ-SYM", "EQ-TRANS",
+        "PRP-DOM", "PRP-EQP1", "PRP-EQP2", "PRP-FP", "PRP-IFP",
+        "PRP-INV1", "PRP-INV2", "PRP-RNG", "PRP-SPO1", "PRP-SYMP",
+        "PRP-TRP",
+        "SCM-DOM1", "SCM-DOM2", "SCM-EQC1", "SCM-EQC2", "SCM-EQP1",
+        "SCM-EQP2", "SCM-RNG1", "SCM-RNG2", "SCM-SCO", "SCM-SPO",
+    ],
+}
+EXPECTED_NAMES["rdfs-plus-full"] = EXPECTED_NAMES["rdfs-plus"] + [
+    "SCM-CLS", "SCM-DP", "SCM-OP", "RDFS4",
+]
+
+
+class TestRuleNameLists:
+    def test_every_named_ruleset_is_covered(self):
+        assert set(EXPECTED_NAMES) == set(RULESET_NAMES)
+
+    @pytest.mark.parametrize("name", RULESET_NAMES)
+    def test_exact_rule_names(self, name):
+        assert ruleset_rule_names(name) == EXPECTED_NAMES[name]
+
+    def test_executor_counts_dedup_shared_eq_rep(self):
+        # EQ-REP-S/P/O share one executor: 29 names -> 27 executors.
+        assert len(get_ruleset("rdfs-plus")) == 27
+        assert len(get_ruleset("rdfs-plus-full")) == 31
+        assert len(get_ruleset("rdfs-default")) == 10
+
+    @pytest.mark.parametrize("name", RULESET_NAMES)
+    def test_executor_names_match_catalogue(self, name):
+        executor_names = {rule.name for rule in get_ruleset(name)}
+        expected = {
+            "EQ-REP" if n.startswith("EQ-REP-") else n
+            for n in EXPECTED_NAMES[name]
+        }
+        assert executor_names == expected
+
+
+class TestUnknownRulesetErrors:
+    @pytest.mark.parametrize(
+        "bogus", ("rdfs", "owl-full", "", "RDFS-DEFAULT", "rho_df")
+    )
+    def test_unknown_name_raises_value_error(self, bogus):
+        with pytest.raises(ValueError) as excinfo:
+            ruleset_rule_names(bogus)
+        message = str(excinfo.value)
+        assert repr(bogus) in message
+        # The error must teach the valid choices.
+        for valid in RULESET_NAMES:
+            assert valid in message
+
+    def test_get_ruleset_propagates_the_error(self):
+        with pytest.raises(ValueError, match="unknown ruleset"):
+            get_ruleset("nope")
+
+    def test_engine_constructor_propagates_the_error(self):
+        from repro.core.engine import InferrayEngine
+
+        with pytest.raises(ValueError, match="unknown ruleset"):
+            InferrayEngine("nope")
