@@ -20,11 +20,16 @@ Parallel: --workers N (default 4) additionally measures the Inferray
          engine sequentially vs under the dependency-aware parallel
          rule scheduler with N workers (rdfs-default fragment) and
          reports per-dataset throughput; --workers 1 skips it.
+         --parallel-mode thread|process pins the executor substrate
+         (default: the engine's auto policy), and --modes (implied by
+         --json) adds a thread vs process vs sharded-process
+         comparison over the same workloads.
 JSON:    --json [PATH] additionally writes a machine-readable record
          set (default PATH: BENCH_table2.json) — one entry per cell
          with dataset, engine, backend, ruleset, seconds, n_inferred,
          plus a top-level "parallel" section with the
-         sequential-vs-parallel cells and the mean speedup.
+         sequential-vs-parallel cells and the mean speedup, and a
+         "parallel_modes" section with the per-mode speedups.
 Smoke:   --smoke restricts to one tiny dataset with a single run per
          cell (the CI smoke job uses --smoke --json and validates the
          parallel section).
@@ -104,20 +109,29 @@ def run_backend_table(backend, timeout=TIMEOUT, runs=1, subset=None):
 
 
 def run_parallel_comparison(
-    workers, *, backend="auto", fragment="rdfs-default", timeout=TIMEOUT,
-    runs=1, subset=None
+    workers, *, backend="auto", parallel_mode=None,
+    fragment="rdfs-default", timeout=TIMEOUT, runs=1, subset=None,
+    sequential_out=None
 ):
     """Inferray under workers=1 vs workers=N on each workload.
 
     Both legs run on the *same* kernel ``backend`` (the one the rest of
-    the invocation measures).  Returns the JSON-ready section:
-    per-dataset cells with sequential / parallel seconds + throughput,
-    and the mean ``speedup`` across the cells that completed (the field
-    the CI smoke job asserts on).
+    the invocation measures); ``parallel_mode`` selects the executor
+    substrate for the parallel leg (None = the engine's 'auto' policy).
+    Returns the JSON-ready section: per-dataset cells with sequential /
+    parallel seconds + throughput, and the mean ``speedup`` across the
+    cells that completed (the field the CI smoke job asserts on).
+    ``sequential_out`` (an empty dict, if given) collects the measured
+    sequential :class:`RunResult` per dataset so the modes comparison
+    can reuse the baselines instead of re-running them.
     """
+    from repro.core.parallel import resolve_parallel_mode
     from repro.kernels import resolve_backend
 
     backend_name = resolve_backend(backend).name
+    mode_label = resolve_parallel_mode(
+        parallel_mode, backend_name=backend_name
+    )
     cells = []
     speedups = []
     for dataset_name, data in subset or workloads():
@@ -127,10 +141,16 @@ def run_parallel_comparison(
             engine_kwargs={"workers": 1, "backend": backend},
             label="sequential",
         )
+        if sequential_out is not None:
+            sequential_out[dataset_name] = seq
         par = run_engine(
             "inferray", fragment, data, dataset_name=dataset_name,
             timeout_seconds=timeout, warmup=0, runs=runs,
-            engine_kwargs={"workers": workers, "backend": backend},
+            engine_kwargs={
+                "workers": workers,
+                "backend": backend,
+                "parallel_mode": parallel_mode,
+            },
             label=f"workers-{workers}",
         )
         speedup = None
@@ -143,6 +163,7 @@ def run_parallel_comparison(
                 "ruleset": fragment,
                 "backend": backend_name,
                 "workers": workers,
+                "parallel_mode": mode_label,
                 "sequential_seconds": seq.seconds,
                 "parallel_seconds": par.seconds,
                 "sequential_throughput": seq.throughput,
@@ -155,15 +176,153 @@ def run_parallel_comparison(
         "workers": workers,
         "ruleset": fragment,
         "backend": backend_name,
+        "parallel_mode": mode_label,
         "speedup": statistics.fmean(speedups) if speedups else None,
         "cells": cells,
     }
 
 
+#: The executor configurations the mode-comparison section measures:
+#: (label, engine kwargs layered on top of workers/backend).
+PARALLEL_MODE_LEGS = [
+    ("thread", {"parallel_mode": "thread"}),
+    ("process", {"parallel_mode": "process"}),
+    # Forced intra-rule sharding: a low split threshold makes CAX-SCO
+    # and the other join executors fan out across the workers even on
+    # bench-sized inputs.
+    ("process-sharded", {"parallel_mode": "process", "split_threshold": 512}),
+]
+
+
+def run_parallel_modes_comparison(
+    workers, *, backend="auto", fragment="rdfs-default", timeout=TIMEOUT,
+    runs=1, subset=None, sequential_cells=None
+):
+    """Thread vs process vs sharded-process, against sequential.
+
+    One sequential baseline per dataset, then every
+    :data:`PARALLEL_MODE_LEGS` configuration at ``workers=N`` on the
+    same kernel backend.  ``sequential_cells`` (dataset → sequential
+    :class:`RunResult`, as measured by :func:`run_parallel_comparison`
+    on the same subset/backend) reuses already-measured baselines
+    instead of re-running them.  Returns the ``parallel_modes`` JSON
+    section: per-dataset cells (seconds + speedup per mode) and
+    per-mode mean speedups — the thread-vs-process payoff record for
+    the repo's bench trajectory.
+    """
+    from repro.kernels import resolve_backend
+
+    backend_name = resolve_backend(backend).name
+    sequential_cells = sequential_cells or {}
+    cells = []
+    speedups = {label: [] for label, _ in PARALLEL_MODE_LEGS}
+    for dataset_name, data in subset or workloads():
+        seq = sequential_cells.get(dataset_name)
+        if seq is None:
+            seq = run_engine(
+                "inferray", fragment, data, dataset_name=dataset_name,
+                timeout_seconds=timeout, warmup=0, runs=runs,
+                engine_kwargs={"workers": 1, "backend": backend},
+                label="sequential",
+            )
+        cell = {
+            "dataset": dataset_name,
+            "ruleset": fragment,
+            "backend": backend_name,
+            "workers": workers,
+            "sequential_seconds": seq.seconds,
+            "n_inferred": seq.n_inferred,
+            "modes": {},
+        }
+        for label, extra in PARALLEL_MODE_LEGS:
+            par = run_engine(
+                "inferray", fragment, data, dataset_name=dataset_name,
+                timeout_seconds=timeout, warmup=0, runs=runs,
+                engine_kwargs={
+                    "workers": workers, "backend": backend, **extra
+                },
+                label=label,
+            )
+            speedup = None
+            if seq.seconds and par.seconds:
+                speedup = seq.seconds / par.seconds
+                speedups[label].append(speedup)
+            cell["modes"][label] = {
+                "seconds": par.seconds,
+                "throughput": par.throughput,
+                "speedup": speedup,
+            }
+        cells.append(cell)
+    return {
+        "workers": workers,
+        "ruleset": fragment,
+        "backend": backend_name,
+        "modes": [label for label, _ in PARALLEL_MODE_LEGS],
+        "speedups": {
+            label: (statistics.fmean(values) if values else None)
+            for label, values in speedups.items()
+        },
+        "cells": cells,
+    }
+
+
+def measure_parallel_sections(args, *, backend="auto", runs=1, subset=None):
+    """The seq-vs-parallel and executor-mode sections, if enabled.
+
+    Shared by the engine-table and backend-comparison branches of
+    ``main``: runs :func:`run_parallel_comparison` (reporting it), then
+    — when ``--modes`` or ``--json`` asks for it —
+    :func:`run_parallel_modes_comparison` reusing the sequential
+    baselines just measured.  Returns ``(parallel, parallel_modes)``
+    (either may be ``None``).
+    """
+    if args.workers <= 1:
+        return None, None
+    sequential_cells = {}
+    parallel = run_parallel_comparison(
+        args.workers, backend=backend, parallel_mode=args.parallel_mode,
+        timeout=args.timeout, runs=runs, subset=subset,
+        sequential_out=sequential_cells,
+    )
+    _report_parallel_comparison(parallel)
+    parallel_modes = None
+    if args.modes or args.json:
+        parallel_modes = run_parallel_modes_comparison(
+            args.workers, backend=backend, timeout=args.timeout,
+            runs=runs, subset=subset, sequential_cells=sequential_cells,
+        )
+        _report_parallel_modes(parallel_modes)
+    return parallel, parallel_modes
+
+
+def _report_parallel_modes(section):
+    workers = section["workers"]
+    print(
+        f"\nParallel executor modes at {workers} workers "
+        f"({section['ruleset']}, {section['backend']} kernels; "
+        "speedup vs sequential)"
+    )
+    for cell in section["cells"]:
+        parts = []
+        for label in section["modes"]:
+            mode = cell["modes"][label]
+            if mode["speedup"] is None:
+                parts.append(f"{label}: timeout")
+            else:
+                parts.append(f"{label}: {mode['speedup']:.2f}x")
+        print(f"  {cell['dataset']}: " + ", ".join(parts))
+    means = ", ".join(
+        f"{label}: {value:.2f}x" if value is not None else f"{label}: –"
+        for label, value in section["speedups"].items()
+    )
+    print(f"  mean speedups — {means}")
+
+
 def _report_parallel_comparison(section):
     workers = section["workers"]
     print(
-        f"\nParallel rule scheduler — sequential vs {workers} workers "
+        f"\nParallel rule scheduler — sequential vs {workers} "
+        f"{section.get('parallel_mode') or 'auto'} workers "
         f"({section['ruleset']}, inferred triples/s)"
     )
     for cell in section["cells"]:
@@ -238,7 +397,9 @@ def _report_backend_comparison(backend, results, timeout=TIMEOUT):
         )
 
 
-def write_json_report(path, results, *, mode, timeout, parallel=None):
+def write_json_report(
+    path, results, *, mode, timeout, parallel=None, parallel_modes=None
+):
     """Write the cell records as machine-readable JSON (CI artifact).
 
     Each record carries dataset / engine / backend / ruleset /
@@ -248,7 +409,10 @@ def write_json_report(path, results, *, mode, timeout, parallel=None):
     'auto' resolves to in this environment.  ``parallel`` (from
     :func:`run_parallel_comparison`) lands as the top-level
     ``"parallel"`` section — the CI smoke job fails when its
-    ``speedup`` field is absent.
+    ``speedup`` field is absent — and ``parallel_modes`` (from
+    :func:`run_parallel_modes_comparison`) as the top-level
+    ``"parallel_modes"`` section, schema-checked against the committed
+    baseline ``BENCH_table2.json``.
     """
     from repro.kernels import resolve_backend
 
@@ -280,6 +444,8 @@ def write_json_report(path, results, *, mode, timeout, parallel=None):
     }
     if parallel is not None:
         payload["parallel"] = parallel
+    if parallel_modes is not None:
+        payload["parallel_modes"] = parallel_modes
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -322,6 +488,22 @@ def main(argv=None):
         "against sequential execution (1 skips the comparison; "
         "default 4)",
     )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=("auto", "thread", "process"),
+        default=None,
+        help="executor substrate for the seq-vs-parallel comparison "
+        "(default: the engine's auto policy — process for python "
+        "kernels, threads for numpy)",
+    )
+    parser.add_argument(
+        "--modes",
+        action="store_true",
+        default=None,
+        help="also measure thread vs process vs sharded-process at "
+        "--workers (the parallel_modes report section; implied by "
+        "--json)",
+    )
     args = parser.parse_args(argv)
 
     subset = None
@@ -355,17 +537,13 @@ def main(argv=None):
             _report_backend_comparison(backend, results, timeout=args.timeout)
         # Seq-vs-parallel on the backend this invocation measured
         # (availability was proven by the table run above).
-        parallel = None
-        if args.workers > 1:
-            parallel = run_parallel_comparison(
-                args.workers, backend=backend, timeout=args.timeout,
-                runs=runs, subset=subset,
-            )
-            _report_parallel_comparison(parallel)
+        parallel, parallel_modes = measure_parallel_sections(
+            args, backend=backend, runs=runs, subset=subset
+        )
         if args.json:
             write_json_report(
                 args.json, results, mode="backends", timeout=args.timeout,
-                parallel=parallel,
+                parallel=parallel, parallel_modes=parallel_modes,
             )
         return
 
@@ -378,16 +556,13 @@ def main(argv=None):
     print()
     for line in speedup_summary(results):
         print(" ", line)
-    parallel = None
-    if args.workers > 1:
-        parallel = run_parallel_comparison(
-            args.workers, timeout=args.timeout, runs=runs, subset=subset
-        )
-        _report_parallel_comparison(parallel)
+    parallel, parallel_modes = measure_parallel_sections(
+        args, runs=runs, subset=subset
+    )
     if args.json:
         write_json_report(
             args.json, results, mode="engines", timeout=args.timeout,
-            parallel=parallel,
+            parallel=parallel, parallel_modes=parallel_modes,
         )
 
 

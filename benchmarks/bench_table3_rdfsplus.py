@@ -9,8 +9,15 @@ the stand-ins, under the full RDFS-Plus ruleset (multi-way joins,
 property-as-variable rules, sameAs machinery).
 
 Run:     python benchmarks/bench_table3_rdfsplus.py
+Parallel: --workers N runs the Inferray engine through the parallel
+         rule scheduler (--parallel-mode thread|process picks the
+         executor; default: the engine's auto policy), so the
+         RDFS-Plus closure benchmarks exercise the same scheduler the
+         Table-2 harness measures.
 Pytest:  pytest benchmarks/bench_table3_rdfsplus.py --benchmark-only
 """
+
+import argparse
 
 import pytest
 
@@ -36,7 +43,14 @@ def workloads():
     ]
 
 
-def run_table(timeout=TIMEOUT, runs=1, subset=None):
+def inferray_scheduler_kwargs(args):
+    """Engine kwargs for the Inferray cells (baselines take none)."""
+    if args is None or args.workers is None:
+        return None
+    return {"workers": args.workers, "parallel_mode": args.parallel_mode}
+
+
+def run_table(timeout=TIMEOUT, runs=1, subset=None, scheduler_kwargs=None):
     results = []
     for dataset_name, data in subset or workloads():
         for engine in ENGINES:
@@ -49,17 +63,55 @@ def run_table(timeout=TIMEOUT, runs=1, subset=None):
                     timeout_seconds=timeout,
                     warmup=0,
                     runs=runs,
+                    engine_kwargs=(
+                        scheduler_kwargs if engine == "inferray" else None
+                    ),
                 )
             )
     return results
 
 
-def main():
-    results = run_table()
+def add_scheduler_arguments(parser):
+    """--workers / --parallel-mode, shared by the closure benchmarks."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the Inferray engine under the parallel rule "
+        "scheduler with N workers (0 = all cores; default: "
+        "$REPRO_WORKERS or sequential)",
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=("auto", "thread", "process"),
+        default=None,
+        help="executor substrate for --workers > 1 (default: the "
+        "engine's auto policy)",
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_scheduler_arguments(parser)
+    parser.add_argument(
+        "--timeout", type=float, default=TIMEOUT,
+        help=f"per-run timeout in seconds (default {TIMEOUT:.0f})",
+    )
+    args = parser.parse_args(argv)
+    scheduler_kwargs = inferray_scheduler_kwargs(args)
+    results = run_table(
+        timeout=args.timeout, scheduler_kwargs=scheduler_kwargs
+    )
     print(
         "Table 3 — RDFS-Plus, execution time in ms "
-        f"('–' = timeout of {TIMEOUT:.0f}s; * = synthetic stand-in)"
+        f"('–' = timeout of {args.timeout:.0f}s; * = synthetic stand-in)"
     )
+    if scheduler_kwargs:
+        print(
+            f"(inferray cells: workers={args.workers}, "
+            f"parallel-mode={args.parallel_mode or 'auto'})"
+        )
     print(results_matrix(results, columns=ENGINES))
     print()
     for line in speedup_summary(results):

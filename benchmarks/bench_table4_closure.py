@@ -12,8 +12,14 @@ size, the iterative engines blowing up combinatorially and timing out
 at much shorter chains.
 
 Run:     python benchmarks/bench_table4_closure.py
+Parallel: --workers N runs the Inferray engine through the parallel
+         rule scheduler (--parallel-mode thread|process picks the
+         executor substrate), exercising the θ pre-pass under the
+         scheduler at every chain length.
 Pytest:  pytest benchmarks/bench_table4_closure.py --benchmark-only
 """
+
+import argparse
 
 import pytest
 
@@ -30,7 +36,7 @@ TIMEOUT = 30.0
 ENGINES = ["inferray", "hashjoin", "rete", "naive"]
 
 
-def run_table(lengths=None, timeout=TIMEOUT, runs=1):
+def run_table(lengths=None, timeout=TIMEOUT, runs=1, scheduler_kwargs=None):
     results = []
     give_up = set()
     for length in lengths or LENGTHS:
@@ -56,6 +62,9 @@ def run_table(lengths=None, timeout=TIMEOUT, runs=1):
                 timeout_seconds=timeout,
                 warmup=0,
                 runs=runs,
+                engine_kwargs=(
+                    scheduler_kwargs if engine == "inferray" else None
+                ),
             )
             results.append(result)
             if result.seconds is None:
@@ -63,8 +72,23 @@ def run_table(lengths=None, timeout=TIMEOUT, runs=1):
     return results
 
 
-def main():
-    results = run_table()
+def main(argv=None):
+    from bench_table3_rdfsplus import (
+        add_scheduler_arguments,
+        inferray_scheduler_kwargs,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_scheduler_arguments(parser)
+    parser.add_argument(
+        "--timeout", type=float, default=TIMEOUT,
+        help=f"per-run timeout in seconds (default {TIMEOUT:.0f})",
+    )
+    args = parser.parse_args(argv)
+    scheduler_kwargs = inferray_scheduler_kwargs(args)
+    results = run_table(
+        timeout=args.timeout, scheduler_kwargs=scheduler_kwargs
+    )
     by_length = {}
     for result in results:
         by_length.setdefault(result.dataset, {})[result.engine] = result
@@ -77,7 +101,12 @@ def main():
             + [cells[e].cell() for e in ENGINES]
         )
     print("Table 4 — transitivity closure wall time (ms; '–' = timeout "
-          f"of {TIMEOUT:.0f}s)")
+          f"of {args.timeout:.0f}s)")
+    if scheduler_kwargs:
+        print(
+            f"(inferray cells: workers={args.workers}, "
+            f"parallel-mode={args.parallel_mode or 'auto'})"
+        )
     print(format_table(headers, rows))
     inferray_last = [
         r for r in results if r.engine == "inferray" and r.seconds

@@ -1,0 +1,157 @@
+"""Schema check for the Table-2 benchmark report (CI smoke job).
+
+Validates a freshly generated ``BENCH_table2.json`` in two layers:
+
+1. **Structural invariants** — the assertions the smoke job has always
+   made (records present, inferray cells infer something, the
+   ``parallel`` section carries a usable ``speedup``), extended to the
+   ``parallel_modes`` section (every configured executor mode must
+   have run on every dataset cell).
+2. **Baseline schema diff** — the fresh report's key structure is
+   compared against the committed baseline report, so a bench-harness
+   refactor that silently drops a section or renames a field fails CI
+   instead of rotting the bench trajectory.
+
+Usage:
+    python benchmarks/check_bench_schema.py FRESH.json [--baseline BENCH_table2.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def _schema(value, path="$"):
+    """The key structure of a JSON value, as a set of typed paths.
+
+    Lists are schema'd through their first element (records in one
+    report section are homogeneous); scalars reduce to their type name,
+    with int/float unified (a ``speedup`` may serialize as either).
+    """
+    if isinstance(value, dict):
+        paths = {path + "{}"}
+        for key, item in value.items():
+            paths |= _schema(item, f"{path}.{key}")
+        return paths
+    if isinstance(value, list):
+        paths = {path + "[]"}
+        if value:
+            paths |= _schema(value[0], path + "[*]")
+        return paths
+    if isinstance(value, bool):
+        return {f"{path}:bool"}
+    if isinstance(value, (int, float)):
+        return {f"{path}:number"}
+    if value is None:
+        return {f"{path}:null"}
+    return {f"{path}:{type(value).__name__}"}
+
+
+def _normalize(paths):
+    """Drop value-level type suffixes where null/number may alternate
+    (timeouts serialize measured fields as null)."""
+    out = set()
+    for p in paths:
+        for suffix in (":null", ":number"):
+            if p.endswith(suffix):
+                p = p[: -len(suffix)] + ":value"
+                break
+        out.add(p)
+    return out
+
+
+def _dynamic_key(path):
+    """Paths keyed by data-dependent names (mode labels, datasets) are
+    compared per-section, not literally."""
+    return ".modes." in path or ".cells[*].modes" in path
+
+
+def check_structure(report):
+    assert report["table"] == "table2-rdfs", report.get("table")
+    results = report["results"]
+    assert results, "no benchmark records emitted"
+    for record in results:
+        for key in ("dataset", "backend", "ruleset", "seconds", "n_inferred"):
+            assert key in record, (key, record)
+    inferray = [r for r in results if r["engine"] == "inferray"]
+    assert inferray, "no inferray cells"
+    assert all(
+        r["n_inferred"] > 0 for r in inferray if not r["timeout"]
+    ), inferray
+
+    # The parallel-scheduler section is mandatory.
+    assert "parallel" in report, sorted(report)
+    parallel = report["parallel"]
+    for key in ("workers", "ruleset", "parallel_mode", "speedup", "cells"):
+        assert key in parallel, (key, sorted(parallel))
+    assert parallel["workers"] >= 2, parallel["workers"]
+    assert parallel["cells"], "no parallel comparison cells"
+    assert isinstance(parallel["speedup"], (int, float)), parallel
+    assert parallel["speedup"] > 0, parallel["speedup"]
+    for cell in parallel["cells"]:
+        assert cell["parallel_seconds"] is not None, cell
+        assert cell["n_inferred"] > 0, cell
+
+    # The executor-mode comparison is mandatory too.
+    assert "parallel_modes" in report, sorted(report)
+    modes = report["parallel_modes"]
+    for key in ("workers", "ruleset", "backend", "modes", "speedups", "cells"):
+        assert key in modes, (key, sorted(modes))
+    assert set(modes["modes"]) >= {"thread", "process"}, modes["modes"]
+    assert set(modes["speedups"]) == set(modes["modes"]), modes["speedups"]
+    assert modes["cells"], "no parallel_modes cells"
+    for cell in modes["cells"]:
+        assert set(cell["modes"]) == set(modes["modes"]), cell
+        for label, leg in cell["modes"].items():
+            for key in ("seconds", "throughput", "speedup"):
+                assert key in leg, (label, key, leg)
+    return len(results)
+
+
+def check_against_baseline(report, baseline):
+    fresh = {p for p in _normalize(_schema(report)) if not _dynamic_key(p)}
+    base = {p for p in _normalize(_schema(baseline)) if not _dynamic_key(p)}
+    missing = base - fresh
+    added = fresh - base
+    if missing:
+        raise AssertionError(
+            "report schema lost fields present in the committed "
+            f"baseline: {sorted(missing)}"
+        )
+    return added
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="freshly generated report JSON")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_table2.json",
+        help="committed baseline to schema-diff against "
+        "(default: BENCH_table2.json)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.report, encoding="utf-8") as handle:
+        report = json.load(handle)
+    n_records = check_structure(report)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    added = check_against_baseline(report, baseline)
+    speedups = report["parallel_modes"]["speedups"]
+    summary = ", ".join(
+        f"{label}: {value:.2f}x" if value is not None else f"{label}: -"
+        for label, value in sorted(speedups.items())
+    )
+    print(
+        f"OK: {n_records} records; parallel speedup "
+        f"{report['parallel']['speedup']:.2f}x @ "
+        f"{report['parallel']['workers']} workers "
+        f"({report['parallel']['parallel_mode']}); modes — {summary}"
+    )
+    if added:
+        print(f"note: fields added vs baseline: {sorted(added)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from .core.engine import (
     MaterializationStats,
     MaterializationTimeout,
 )
+from .core.parallel import PARALLEL_MODES, ProcessModeUnavailable
 from .core.store_api import (
     Snapshot,
     Store,
@@ -56,7 +57,7 @@ from .core.store_api import (
 from .query.bgp import Query, TriplePattern, Var, parse_bgp
 from .rules.rulesets import RULESET_NAMES
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FixedPointError",

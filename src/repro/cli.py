@@ -23,6 +23,7 @@ import os
 import sys
 from typing import List, Optional
 
+from .core.parallel import PARALLEL_MODES, ProcessModeUnavailable
 from .core.store_api import Store, StoreFormatError, is_store_file
 from .kernels import BACKEND_NAMES, KernelUnavailableError
 from .query.bgp import BGPSyntaxError, parse_bgp
@@ -47,8 +48,18 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="worker threads for the parallel rule scheduler "
+        help="workers for the parallel rule scheduler "
         "(0 = all cores; default: $REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=PARALLEL_MODES,
+        default=None,
+        help="executor for --workers > 1: 'process' runs shared-memory "
+        "worker processes (scales the pure-Python backend past the "
+        "GIL), 'thread' a thread pool; 'auto' picks process for the "
+        "python backend and threads for numpy "
+        "(default: $REPRO_PARALLEL_MODE or auto)",
     )
 
 
@@ -173,8 +184,13 @@ def _open_store(args: argparse.Namespace) -> Store:
     """A Store from either a serialized store or a raw dataset file."""
     ruleset = getattr(args, "ruleset", None)
     workers = getattr(args, "workers", None)
+    parallel_mode = getattr(args, "parallel_mode", None)
     if is_store_file(args.input):
-        options = {"backend": args.backend, "workers": workers}
+        options = {
+            "backend": args.backend,
+            "workers": workers,
+            "parallel_mode": parallel_mode,
+        }
         if ruleset:
             options["ruleset"] = ruleset
         return Store.load(args.input, **options)
@@ -183,6 +199,7 @@ def _open_store(args: argparse.Namespace) -> Store:
         ruleset=ruleset or "rdfs-default",
         backend=args.backend,
         workers=workers,
+        parallel_mode=parallel_mode,
     )
 
 
@@ -203,6 +220,7 @@ def _run_infer(args: argparse.Namespace) -> int:
         backend=args.backend,
         timeout_seconds=args.timeout,
         workers=args.workers,
+        parallel_mode=args.parallel_mode,
     )
     loaded = store.add_file(args.input)
     store.materialize()
@@ -222,13 +240,16 @@ def _run_infer(args: argparse.Namespace) -> int:
 
 def _run_stats(args: argparse.Namespace) -> int:
     store = Store(
-        ruleset=args.ruleset, backend=args.backend, workers=args.workers
+        ruleset=args.ruleset,
+        backend=args.backend,
+        workers=args.workers,
+        parallel_mode=args.parallel_mode,
     )
     loaded = store.add_file(args.input)
     stats = store.materialize()
     print(f"kernel backend:    {store.engine.kernels.name}")
     print(f"workers:           {stats.workers} "
-          f"({stats.n_waves} scheduler wave(s))")
+          f"({stats.parallel_mode}, {stats.n_waves} scheduler wave(s))")
     print(f"input triples:     {loaded}")
     print(f"inferred triples:  {stats.n_inferred}")
     print(f"total triples:     {stats.n_total}")
@@ -243,8 +264,14 @@ def _run_stats(args: argparse.Namespace) -> int:
         print(
             f"rule-firing speedup: {stats.parallel_speedup:.2f}x "
             f"({stats.rule_busy_seconds * 1000:.1f} ms busy across "
-            f"{stats.workers} workers)"
+            f"{stats.workers} {stats.parallel_mode} workers)"
         )
+    if stats.rule_shards:
+        shards = ", ".join(
+            f"{name}x{count}"
+            for name, count in sorted(stats.rule_shards.items())
+        )
+        print(f"intra-rule splits: {shards}")
     if stats.per_rule:
         print("per-rule emissions (raw, pre-dedup):")
         for name, count in sorted(
@@ -265,7 +292,10 @@ def _run_rules(args: argparse.Namespace) -> int:
 
 def _run_save(args: argparse.Namespace) -> int:
     store = Store(
-        ruleset=args.ruleset, backend=args.backend, workers=args.workers
+        ruleset=args.ruleset,
+        backend=args.backend,
+        workers=args.workers,
+        parallel_mode=args.parallel_mode,
     )
     loaded = store.add_file(args.input)
     stats = store.materialize()
@@ -354,7 +384,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
-    except (KernelUnavailableError, StoreFormatError) as error:
+    except (
+        KernelUnavailableError,
+        ProcessModeUnavailable,
+        StoreFormatError,
+    ) as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
     except FileNotFoundError as error:

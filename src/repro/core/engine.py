@@ -59,10 +59,15 @@ class MaterializationStats:
     merge_seconds: float = 0.0
     total_seconds: float = 0.0
     per_rule: Dict[str, int] = field(default_factory=dict)
-    #: Worker threads the rule scheduler ran with (1 = sequential).
+    #: Workers the rule scheduler ran with (1 = sequential).
     workers: int = 1
+    #: Executor substrate: 'sequential', 'thread' or 'process'.
+    parallel_mode: str = "sequential"
     #: Waves in the scheduler's dependency stratification.
     n_waves: int = 0
+    #: Rules that were split into key-range shards, with the largest
+    #: shard count observed across iterations.
+    rule_shards: Dict[str, int] = field(default_factory=dict)
     #: Wall-clock seconds per wave index, summed across iterations.
     per_wave_seconds: List[float] = field(default_factory=list)
     #: Per-rule firing seconds, summed across iterations.
@@ -110,11 +115,25 @@ class InferrayEngine:
         Keep the lazily-computed ⟨o, s⟩ sorted views cached (the
         paper's design); ``False`` recomputes them per use (ablation).
     workers:
-        Worker threads for the dependency-aware rule scheduler
+        Workers for the dependency-aware rule scheduler
         (:mod:`repro.core.scheduler`).  ``None`` (default) reads
         ``$REPRO_WORKERS`` (falling back to 1 — sequential), ``0``
         means all cores.  Engines with a memory ``tracer`` always run
         sequentially (the tracer records a single address stream).
+    parallel_mode:
+        Executor substrate for ``workers > 1``: ``'thread'``,
+        ``'process'`` (shared-memory worker processes — the mode that
+        scales the pure-Python backend past the GIL) or ``'auto'``
+        (process for the python backend, threads for numpy).  ``None``
+        (default) reads ``$REPRO_PARALLEL_MODE``, falling back to
+        ``'auto'``.
+    split_threshold:
+        Estimated join-input pairs above which one rule firing is
+        split into key-range shards that run as independent scheduler
+        tasks (intra-rule parallelism; CAX-SCO over the type table is
+        the motivating case).  ``None`` reads
+        ``$REPRO_SPLIT_THRESHOLD`` (default 16384); ``0`` disables
+        splitting.  Only parallel runs split.
     """
 
     def __init__(
@@ -127,6 +146,8 @@ class InferrayEngine:
         max_iterations: int = 10_000,
         os_cache: bool = True,
         workers: Optional[int] = None,
+        parallel_mode: Optional[str] = None,
+        split_threshold: Optional[int] = None,
     ):
         if isinstance(ruleset, str):
             self.rules: List[Rule] = get_ruleset(ruleset)
@@ -139,7 +160,13 @@ class InferrayEngine:
         self.kernels = resolve_backend(backend, algorithm=algorithm)
         self.workers = 1 if tracer is not None else resolve_workers(workers)
         self.scheduler = ParallelRuleScheduler(
-            self.rules, workers=self.workers
+            self.rules,
+            workers=self.workers,
+            mode=parallel_mode,
+            vocab=self.vocab,
+            kernels=self.kernels,
+            algorithm=algorithm,
+            split_threshold=split_threshold,
         )
         self.main = TripleStore(
             algorithm=algorithm,
@@ -196,11 +223,13 @@ class InferrayEngine:
                 n_input=self.main.n_triples,
                 n_total=self.main.n_triples,
                 workers=self.workers,
+                parallel_mode=self.parallel_mode,
                 n_waves=self.scheduler.n_waves,
             )
         stats = MaterializationStats(
             n_input=self.main.n_triples,
             workers=self.workers,
+            parallel_mode=self.parallel_mode,
             n_waves=self.scheduler.n_waves,
         )
         started = time.perf_counter()
@@ -229,17 +258,22 @@ class InferrayEngine:
 
         # Lines 4-8: fixed point, rules fired through the wave scheduler.
         with self.scheduler.session() as executor:
+            # Re-read after session start: an auto-derived process mode
+            # may have fallen back to threads.
+            stats.parallel_mode = self.parallel_mode
             while new:
                 iteration += 1
                 if iteration > self.max_iterations:
                     raise FixedPointError(
                         f"no fixed point after {self.max_iterations} "
-                        f"iterations (workers={self.workers})"
+                        f"iterations (workers={self.workers}, "
+                        f"mode={self.parallel_mode})"
                     )
                 if deadline is not None and time.perf_counter() > deadline:
                     raise MaterializationTimeout(
                         f"inferray: timeout after {timeout_seconds}s "
-                        f"(iteration {iteration}, workers={self.workers})"
+                        f"(iteration {iteration}, workers={self.workers}, "
+                        f"mode={self.parallel_mode})"
                     )
                 infer_started = time.perf_counter()
                 outcome = self.scheduler.run_iteration(
@@ -269,10 +303,20 @@ class InferrayEngine:
         self._materialized = True
         return stats
 
+    @property
+    def parallel_mode(self) -> str:
+        """The scheduler's effective executor substrate
+        ('sequential', 'thread' or 'process')."""
+        return self.scheduler.effective_mode
+
     def _accumulate_outcome(self, stats, outcome) -> None:
         """Fold one scheduled iteration's observability into ``stats``."""
         for name, count in outcome.rule_counts.items():
             stats.per_rule[name] = stats.per_rule.get(name, 0) + count
+        for name, shards in outcome.rule_shards.items():
+            stats.rule_shards[name] = max(
+                stats.rule_shards.get(name, 0), shards
+            )
         for name, seconds in outcome.rule_seconds.items():
             stats.per_rule_seconds[name] = (
                 stats.per_rule_seconds.get(name, 0.0) + seconds
@@ -409,6 +453,7 @@ class InferrayEngine:
         stats = MaterializationStats(
             n_input=self.main.n_triples,
             workers=self.workers,
+            parallel_mode=self.parallel_mode,
             n_waves=self.scheduler.n_waves,
         )
         started = time.perf_counter()
@@ -424,17 +469,20 @@ class InferrayEngine:
 
         iteration = 1  # start past the θ pre-pass skip: deltas must close
         with self.scheduler.session() as executor:
+            stats.parallel_mode = self.parallel_mode
             while new:
                 iteration += 1
                 if iteration > self.max_iterations:
                     raise FixedPointError(
                         f"no fixed point after {self.max_iterations} "
-                        f"iterations (workers={self.workers})"
+                        f"iterations (workers={self.workers}, "
+                        f"mode={self.parallel_mode})"
                     )
                 if deadline is not None and time.perf_counter() > deadline:
                     raise MaterializationTimeout(
                         f"inferray: incremental timeout after "
-                        f"{timeout_seconds}s (workers={self.workers})"
+                        f"{timeout_seconds}s (workers={self.workers}, "
+                        f"mode={self.parallel_mode})"
                     )
                 infer_started = time.perf_counter()
                 outcome = self.scheduler.run_iteration(

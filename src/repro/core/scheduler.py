@@ -4,50 +4,74 @@ One :class:`ParallelRuleScheduler` owns the rule list of an engine, the
 rule dependency graph derived from it
 (:class:`repro.rules.depgraph.RuleDependencyGraph`) and the resulting
 **wave** stratification.  Per fixed-point iteration the scheduler fires
-the rules wave by wave; within a wave every rule runs concurrently on a
-:class:`~concurrent.futures.ThreadPoolExecutor` (the NumPy kernel
-backend's sort/merge/join primitives release the GIL, so waves scale on
-real cores; the pure-Python backend interleaves but stays correct).
+the rules wave by wave; within a wave every *task* — a rule firing, or
+one key-range shard of a splittable rule — runs concurrently on the
+session's executor.
+
+Two executor substrates are available (``mode=``):
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The NumPy kernel backend's sort/merge/join primitives release the
+  GIL, so waves scale on real cores; the pure-Python backend
+  interleaves but stays correct.
+* ``"process"`` — a process pool over ``multiprocessing``
+  shared-memory segments (:mod:`repro.core.parallel`): the committed
+  pair arrays are exported once per version as raw int64 buffers,
+  workers rebuild zero-copy read views, and each task's private output
+  buffers come back as one segment.  This is the mode that makes
+  ``workers=N`` pay off on the pure-Python backend, which ``"auto"``
+  therefore selects for it (NumPy stays on threads — no export
+  memcpy, kernels already parallel under the GIL release).
+
+**Intra-rule work splitting**: a rule whose estimated join input
+exceeds ``split_threshold`` pairs (CAX-SCO over the type table is the
+motivating case) is split into key-range shards of its merge join
+(:meth:`repro.rules.spec.Rule.shard_plan`), each shard a schedulable
+task.  Shard outputs are absorbed in shard order before the
+per-iteration merge, so splitting never changes the committed bytes.
 
 Equivalence with sequential execution is by construction:
 
-* every rule of an iteration reads the same committed ``(main, new)``
+* every task of an iteration reads the same committed ``(main, new)``
   snapshot — committed pair arrays are never mutated in place, and the
   merge happens only at the iteration barrier, after all waves;
-* each rule emits into a **private** :class:`InferredBuffers`, so there
-  is no shared mutable state between concurrently firing rules;
+* each task emits into a **private** :class:`InferredBuffers`, so
+  there is no shared mutable state between concurrently firing tasks;
 * the private buffers are absorbed into one combined buffer in
-  catalogue rule order (deterministic commit order) and pushed through
+  catalogue rule order (shard order within a rule) and pushed through
   the existing Figure-5 merge, whose sort+dedup makes the committed
   arrays a pure function of the *set* of emitted pairs — closures are
-  byte-identical regardless of worker count.
+  byte-identical regardless of worker count, executor mode or shard
+  count.
 
 Sequential execution is the ``workers=1`` special case of the same
-wave loop (no executor is spun up), so there is a single code path to
-test.  The remaining shared reads — the lazily cached ⟨o, s⟩ views —
-are benign under CPython: concurrent computation of a missing cache
-yields identical permutations and the last atomic assignment wins.
-
-Because outputs commit only at the iteration barrier, the wave order
-is a *schedule*, not a semantic dependency: it ensures producers fire
-no later than the consumers they feed (the standard rulesets collapse
-into one maximal-parallelism wave) and is the structure the eager
-per-wave merge on ROADMAP's open-items list will hang off.
+wave loop (no executor is spun up, no splitting), so there is a single
+code path to test.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..kernels import KernelBackend
+from ..kernels import KernelBackend, resolve_backend
 from ..rules.depgraph import RuleDependencyGraph
 from ..rules.spec import Rule, RuleContext, Vocab
 from ..store.triple_store import InferredBuffers, TripleStore
+from .parallel import (
+    PARALLEL_MODE_ENV,
+    ProcessModeUnavailable,
+    ProcessSession,
+    discard_result_segment,
+    resolve_parallel_mode,
+    resolve_split_threshold,
+    segment_to_buffers,
+)
 
 __all__ = [
     "IterationOutcome",
@@ -58,36 +82,72 @@ __all__ = [
 #: Environment default for the worker count (used when ``workers=None``).
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Executor handle yielded by :meth:`ParallelRuleScheduler.session`.
+Executor = Union[ThreadPoolExecutor, ProcessSession]
+
 
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers`` request to a concrete positive count.
 
-    ``None`` reads the :data:`WORKERS_ENV` environment variable
-    (defaulting to 1 — sequential); ``0`` and negative values mean
-    "all cores" (``os.cpu_count()``).
+    Explicit values are trusted: ``0`` and negatives mean "all cores"
+    (``os.cpu_count()``), positives pass through.  ``None`` reads the
+    :data:`WORKERS_ENV` environment variable (defaulting to 1 —
+    sequential), and environment values are *sanitized* rather than
+    trusted, since a stray shell export should never crash or
+    oversubscribe an engine: non-numeric values warn and fall back to
+    sequential, negatives warn and use all cores, and anything above
+    4× the core count warns and clamps to that ceiling.
     """
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            workers = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{WORKERS_ENV}={raw!r} is not an integer worker count"
-            )
-    workers = int(workers)
-    if workers <= 0:
-        return os.cpu_count() or 1
-    return workers
+    if workers is not None:
+        workers = int(workers)
+        if workers <= 0:
+            return os.cpu_count() or 1
+        return workers
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    cores = os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{WORKERS_ENV}={raw!r} is not an integer worker count; "
+            "running sequentially (workers=1)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    if value == 0:
+        return cores
+    if value < 0:
+        warnings.warn(
+            f"{WORKERS_ENV}={value} is negative; using all {cores} "
+            "core(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cores
+    ceiling = 4 * cores
+    if value > ceiling:
+        warnings.warn(
+            f"{WORKERS_ENV}={value} would oversubscribe {cores} core(s); "
+            f"clamping to {ceiling} (4x cores)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return ceiling
+    return value
 
 
 @dataclass
 class IterationOutcome:
     """What one scheduled iteration produced (pre-merge).
 
-    ``out`` holds every rule's emissions combined in catalogue order;
-    ``rule_counts`` / ``rule_seconds`` are per-rule observability and
+    ``out`` holds every task's emissions combined in catalogue order
+    (shard order within a rule); ``rule_counts`` / ``rule_seconds``
+    are per-rule observability (a sharded rule's time is the summed
+    busy time of its shards), ``rule_shards`` records the shard count
+    of every rule that was split this iteration, and
     ``wave_seconds[k]`` is the wall-clock barrier-to-barrier time of
     wave *k*.
     """
@@ -95,6 +155,7 @@ class IterationOutcome:
     out: InferredBuffers
     rule_counts: Dict[str, int] = field(default_factory=dict)
     rule_seconds: Dict[str, float] = field(default_factory=dict)
+    rule_shards: Dict[str, int] = field(default_factory=dict)
     wave_seconds: List[float] = field(default_factory=list)
 
 
@@ -106,10 +167,39 @@ class ParallelRuleScheduler:
         rules: Sequence[Rule],
         *,
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
         graph: Optional[RuleDependencyGraph] = None,
+        vocab: Optional[Vocab] = None,
+        kernels: Optional[KernelBackend] = None,
+        algorithm: str = "auto",
+        split_threshold: Optional[int] = None,
+        start_method: Optional[str] = None,
     ):
         self.rules: List[Rule] = list(rules)
         self.workers = resolve_workers(workers)
+        self.kernels = (
+            kernels
+            if kernels is not None
+            else resolve_backend("auto", algorithm=algorithm)
+        )
+        self.algorithm = algorithm
+        self.vocab = vocab
+        self.split_threshold = resolve_split_threshold(split_threshold)
+        self.start_method = start_method
+        # Whether the mode was forced (parameter or environment) —
+        # forced process mode fails loudly, auto-derived falls back.
+        requested = mode
+        if requested is None:
+            requested = (
+                os.environ.get(PARALLEL_MODE_ENV, "").strip() or None
+            )
+        self._mode_forced = (
+            requested is not None
+            and requested.lower() in ("thread", "process")
+        )
+        self.mode = resolve_parallel_mode(
+            mode, backend_name=self.kernels.name
+        )
         self.graph = graph if graph is not None else RuleDependencyGraph(
             self.rules
         )
@@ -120,21 +210,69 @@ class ParallelRuleScheduler:
     def n_waves(self) -> int:
         return len(self.waves)
 
+    @property
+    def effective_mode(self) -> str:
+        """The substrate rule firings actually run on.
+
+        ``"sequential"`` when ``workers=1`` (no executor at all), else
+        the resolved ``"thread"`` / ``"process"`` mode.
+        """
+        if self.workers <= 1:
+            return "sequential"
+        return self.mode
+
     def wave_names(self) -> List[List[str]]:
         """Rule names per wave (observability)."""
         return [[self.rules[i].name for i in wave] for wave in self.waves]
 
     @contextmanager
-    def session(self) -> Iterator[Optional[ThreadPoolExecutor]]:
+    def session(self) -> Iterator[Optional[Executor]]:
         """Worker-pool context for one materialization run.
 
         Yields ``None`` in the sequential (``workers=1``) case so the
-        wave loop runs inline; otherwise a live executor whose threads
-        are joined when the materialization finishes.
+        wave loop runs inline; otherwise a live thread pool or
+        :class:`ProcessSession` torn down when the materialization
+        finishes.  An ``"auto"``-derived process mode that cannot start
+        (unpicklable custom rules, missing vocabulary) falls back to
+        threads; a forced ``mode="process"`` raises instead.
         """
         if self.workers <= 1:
             yield None
             return
+        if self.mode == "process":
+            session = None
+            try:
+                if self.vocab is None:
+                    raise ProcessModeUnavailable(
+                        "process parallel mode needs the scheduler to be "
+                        "built with vocab= (the engine does this); "
+                        "standalone schedulers run threads"
+                    )
+                session = ProcessSession(
+                    workers=self.workers,
+                    rules=self.rules,
+                    vocab=self.vocab,
+                    kernels=self.kernels,
+                    algorithm=self.algorithm,
+                    start_method=self.start_method,
+                )
+            except ProcessModeUnavailable as error:
+                if self._mode_forced:
+                    raise
+                warnings.warn(
+                    f"auto-selected process parallel mode is unavailable "
+                    f"({error}); falling back to threads — expect no "
+                    f"speedup on the pure-Python backend",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self.mode = "thread"  # sticky auto-fallback
+            if session is not None:
+                try:
+                    yield session
+                finally:
+                    session.shutdown()
+                return
         executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-rule"
         )
@@ -155,17 +293,41 @@ class ParallelRuleScheduler:
         kernels: KernelBackend,
         iteration: int = 1,
         theta_prepass_done: bool = False,
-        executor: Optional[ThreadPoolExecutor] = None,
+        executor: Optional[Executor] = None,
     ) -> IterationOutcome:
         """Fire every rule once, wave by wave; returns the outcome.
 
-        All rules observe the same ``(main, new)`` snapshot; the caller
+        All tasks observe the same ``(main, new)`` snapshot; the caller
         merges ``outcome.out`` afterwards (the per-iteration barrier).
         """
         outcome = IterationOutcome(out=InferredBuffers())
-        per_rule: List[Optional[tuple]] = [None] * len(self.rules)
+        results: List[List[tuple]] = [[] for _ in self.rules]
 
-        def fire(rule_index: int) -> tuple:
+        # Plan intra-rule splits against the committed snapshot (cheap:
+        # table-size lookups).  Only parallel runs split — sequential
+        # execution would gain nothing and stays the reference path.
+        plans: Dict[int, int] = {}
+        if executor is not None and self.split_threshold > 0:
+            for index, rule in enumerate(self.rules):
+                n_shards = rule.shard_plan(
+                    main=main,
+                    new=new,
+                    vocab=vocab,
+                    max_shards=self.workers,
+                    threshold=self.split_threshold,
+                )
+                if n_shards is not None and n_shards >= 2:
+                    plans[index] = int(n_shards)
+
+        process_session = (
+            executor if isinstance(executor, ProcessSession) else None
+        )
+        if process_session is not None:
+            main_manifest, new_manifest = process_session.export(main, new)
+
+        def fire_local(
+            rule_index: int, shard: Optional[Tuple[int, int]]
+        ) -> tuple:
             rule = self.rules[rule_index]
             buffers = InferredBuffers()
             ctx = RuleContext(
@@ -178,35 +340,90 @@ class ParallelRuleScheduler:
                 kernels=kernels,
             )
             started = time.perf_counter()
-            rule.apply(ctx)
+            if shard is None:
+                rule.apply(ctx)
+            else:
+                rule.apply_shard(ctx, shard)
             return buffers, ctx.stats, time.perf_counter() - started
 
         for wave in self.waves:
             wave_started = time.perf_counter()
-            if executor is not None and len(wave) > 1:
+            tasks: List[Tuple[int, Optional[Tuple[int, int]]]] = []
+            for index in wave:
+                n_shards = plans.get(index)
+                if n_shards is None:
+                    tasks.append((index, None))
+                else:
+                    tasks.extend(
+                        (index, (k, n_shards)) for k in range(n_shards)
+                    )
+            if process_session is not None:
                 futures = [
-                    (index, executor.submit(fire, index)) for index in wave
+                    (
+                        index,
+                        process_session.submit(
+                            index,
+                            shard,
+                            main_manifest,
+                            new_manifest,
+                            iteration,
+                            theta_prepass_done,
+                        ),
+                    )
+                    for index, shard in tasks
+                ]
+                absorbed = 0
+                try:
+                    for index, future in futures:
+                        name, entries, counts, elapsed = future.result()
+                        buffers = InferredBuffers()
+                        if name is not None:
+                            segment_to_buffers(name, entries, buffers)
+                        results[index].append((buffers, counts, elapsed))
+                        absorbed += 1
+                except BaseException:
+                    # A task failed mid-wave: drain the remaining
+                    # futures and unlink the (disowned) output
+                    # segments of the siblings that completed, or
+                    # they leak until reboot.
+                    for _, future in futures[absorbed:]:
+                        try:
+                            name, _, _, _ = future.result()
+                        except Exception:
+                            continue
+                        if name is not None:
+                            discard_result_segment(name)
+                    raise
+            elif executor is not None and len(tasks) > 1:
+                futures = [
+                    (index, executor.submit(fire_local, index, shard))
+                    for index, shard in tasks
                 ]
                 for index, future in futures:
-                    per_rule[index] = future.result()
+                    results[index].append(future.result())
             else:
-                for index in wave:
-                    per_rule[index] = fire(index)
+                for index, shard in tasks:
+                    results[index].append(fire_local(index, shard))
             outcome.wave_seconds.append(time.perf_counter() - wave_started)
 
-        # Deterministic commit order: absorb in catalogue rule order.
+        # Deterministic commit order: absorb in catalogue rule order,
+        # shard order within a rule.
         for index, rule in enumerate(self.rules):
-            fired = per_rule[index]
-            if fired is None:  # pragma: no cover - every rule fires
+            fired = results[index]
+            if not fired:  # pragma: no cover - every rule fires
                 continue
-            buffers, counts, elapsed = fired
-            outcome.out.absorb(buffers)
             name = rule.name
-            outcome.rule_seconds[name] = (
-                outcome.rule_seconds.get(name, 0.0) + elapsed
-            )
-            for rule_name, count in counts.items():
-                outcome.rule_counts[rule_name] = (
-                    outcome.rule_counts.get(rule_name, 0) + count
+            if len(fired) > 1:
+                outcome.rule_shards[name] = max(
+                    outcome.rule_shards.get(name, 0), len(fired)
                 )
+            for buffers, counts, elapsed in fired:
+                outcome.out.absorb(buffers)
+                outcome.rule_seconds[name] = (
+                    outcome.rule_seconds.get(name, 0.0) + elapsed
+                )
+                for rule_name, count in counts.items():
+                    outcome.rule_counts[rule_name] = (
+                        outcome.rule_counts.get(rule_name, 0) + count
+                    )
         return outcome

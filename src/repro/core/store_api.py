@@ -92,9 +92,17 @@ class StoreConfig:
     os_cache: bool = True
     max_iterations: int = 10_000
     timeout_seconds: Optional[float] = None
-    #: Worker threads for the parallel rule scheduler; ``None`` reads
+    #: Workers for the parallel rule scheduler; ``None`` reads
     #: ``$REPRO_WORKERS`` (default 1), ``0`` means all cores.
     workers: Optional[int] = None
+    #: Executor substrate for ``workers > 1``: 'thread', 'process' or
+    #: 'auto' (process on the pure-Python backend, threads on numpy);
+    #: ``None`` reads ``$REPRO_PARALLEL_MODE``.
+    parallel_mode: Optional[str] = None
+    #: Join-input pairs above which one rule firing is split into
+    #: key-range shards; ``None`` reads ``$REPRO_SPLIT_THRESHOLD``
+    #: (default 16384), ``0`` disables intra-rule splitting.
+    split_threshold: Optional[int] = None
 
     def make_engine(self) -> InferrayEngine:
         """A fresh engine honouring this configuration."""
@@ -105,6 +113,8 @@ class StoreConfig:
             max_iterations=self.max_iterations,
             os_cache=self.os_cache,
             workers=self.workers,
+            parallel_mode=self.parallel_mode,
+            split_threshold=self.split_threshold,
         )
 
 

@@ -63,6 +63,17 @@ class KernelBackend:
         """Concatenate flat chunks (possibly of foreign types) natively."""
         raise NotImplementedError
 
+    def from_buffer(self, buffer, n_values: int, *, offset: int = 0):
+        """A zero-copy read-only flat view over ``n_values`` int64 values.
+
+        ``buffer`` is any object exposing the buffer protocol over raw
+        host-order int64 data (the process-parallel executor hands in
+        ``multiprocessing.shared_memory`` buffers); ``offset`` counts
+        *values*, not bytes.  The view aliases the buffer — it must not
+        be mutated and must not outlive it.
+        """
+        raise NotImplementedError
+
     # -- sorting & the Figure-5 merge -----------------------------------
     def sort_pairs(self, flat, *, dedup: bool = True, algorithm: str = "auto"):
         """Sort a flat pair array on (even, odd); optionally deduplicate.
@@ -125,6 +136,22 @@ class KernelBackend:
     def key_slice(self, sorted_flat, key: int) -> Tuple[int, int]:
         """[start, end) pair-index range of rows whose even part == key."""
         raise NotImplementedError
+
+    def key_lower_bound(self, sorted_flat, key: int) -> int:
+        """First pair index whose even component is ``>= key``.
+
+        Generic binary search over the flat layout; backends may
+        override with a vectorized search.  Used by the intra-rule
+        sharding to cut a sorted view at a key-range boundary.
+        """
+        low, high = 0, len(sorted_flat) // 2
+        while low < high:
+            mid = (low + high) // 2
+            if sorted_flat[2 * mid] < key:
+                low = mid + 1
+            else:
+                high = mid
+        return low
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<{type(self).__name__} {self.name}>"

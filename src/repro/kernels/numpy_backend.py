@@ -148,6 +148,10 @@ class NumpyKernels(KernelBackend):
             # Zero-copy adoption via the buffer protocol; callers treat
             # kernel inputs as read-only, so aliasing is safe.
             return np.frombuffer(flat, dtype=INT64)
+        if isinstance(flat, memoryview):
+            if flat.nbytes == 0:
+                return np.empty(0, dtype=INT64)
+            return np.frombuffer(flat, dtype=INT64)
         return np.asarray(list(flat), dtype=INT64)
 
     def empty(self):
@@ -163,6 +167,13 @@ class NumpyKernels(KernelBackend):
         if len(parts) == 1:
             return parts[0]
         return np.concatenate(parts)
+
+    def from_buffer(self, buffer, n_values: int, *, offset: int = 0):
+        # Zero-copy adoption of a shared-memory segment; the ndarray
+        # aliases the buffer, which the caller keeps alive.
+        return np.frombuffer(
+            buffer, dtype=INT64, count=n_values, offset=8 * offset
+        )
 
     # -- sorting & the Figure-5 merge -----------------------------------
     def sort_pairs(self, flat, *, dedup: bool = True, algorithm: str = "auto"):
@@ -341,6 +352,10 @@ class NumpyKernels(KernelBackend):
         start = int(np.searchsorted(evens, key, side="left"))
         end = int(np.searchsorted(evens, key, side="right"))
         return start, end
+
+    def key_lower_bound(self, sorted_flat, key: int) -> int:
+        a = self.asarray(sorted_flat)
+        return int(np.searchsorted(a[0::2], key, side="left"))
 
 
 #: Shared stateless instance.

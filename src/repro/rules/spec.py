@@ -10,7 +10,7 @@ current iteration plus the output buffers rules emit into.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..dictionary.encoding import Dictionary
 from ..kernels import KernelBackend
@@ -126,6 +126,39 @@ class Rule:
     def apply(self, ctx: RuleContext) -> None:
         """Fire the rule once for the current iteration."""
         raise NotImplementedError
+
+    # -- intra-rule work splitting (scheduler hook) --------------------
+    def shard_plan(
+        self,
+        *,
+        main: TripleStore,
+        new: TripleStore,
+        vocab: Vocab,
+        max_shards: int,
+        threshold: int,
+    ) -> Optional[int]:
+        """Number of key-range shards this firing should split into.
+
+        Returns ``None`` (the default — executor not splittable, or the
+        estimated join input is below ``threshold`` pairs) or a shard
+        count in ``[2, max_shards]``.  A plan of *n* makes the scheduler
+        fire :meth:`apply_shard` with ``shard=(k, n)`` for every
+        ``k < n`` instead of one :meth:`apply` call; the shards' private
+        outputs are absorbed in shard order, and the Figure-5 sort+dedup
+        keeps the committed closure byte-identical to the unsplit run.
+        """
+        return None
+
+    def apply_shard(self, ctx: RuleContext, shard: Tuple[int, int]) -> None:
+        """Fire one key-range shard ``(index, count)`` of this rule.
+
+        Only called when :meth:`shard_plan` returned a count; the union
+        of all shards' emissions must equal the emissions of one
+        :meth:`apply` call on the same ``(main, new)`` snapshot.
+        """
+        raise NotImplementedError(
+            f"rule {self.name} does not support intra-rule sharding"
+        )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} ({self.rule_class})>"

@@ -46,10 +46,54 @@ class TestResolveWorkers:
         assert resolve_workers(0) == (os.cpu_count() or 1)
         assert resolve_workers(-1) == (os.cpu_count() or 1)
 
-    def test_bad_env_value_raises(self, monkeypatch):
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    # A stray shell export must never crash or oversubscribe an engine:
+    # env values are sanitized with a warning, explicit API values are
+    # trusted (test matrices pin exact counts).
+    def test_bad_env_value_warns_and_runs_sequentially(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        with pytest.raises(ValueError, match="REPRO_WORKERS"):
-            resolve_workers(None)
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert resolve_workers(None) == 1
+
+    def test_negative_env_value_warns_and_uses_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        with pytest.warns(RuntimeWarning, match="negative"):
+            assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_oversubscribing_env_value_warns_and_clamps(self, monkeypatch):
+        import os
+
+        cores = os.cpu_count() or 1
+        monkeypatch.setenv("REPRO_WORKERS", str(cores * 4 + 1))
+        with pytest.warns(RuntimeWarning, match="oversubscribe"):
+            assert resolve_workers(None) == cores * 4
+
+    def test_env_value_at_the_ceiling_passes_unclamped(self, monkeypatch):
+        import os
+        import warnings
+
+        cores = os.cpu_count() or 1
+        monkeypatch.setenv("REPRO_WORKERS", str(cores * 4))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(None) == cores * 4
+
+    def test_absurd_env_value_still_materializes(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", str((os.cpu_count() or 1) * 100))
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            engine = InferrayEngine("rdfs-default")
+        engine.load_triples(INTRO)
+        engine.materialize()
+        assert engine.contains(Triple(ex("Bart"), RDF.type, ex("animal")))
 
 
 class TestSchedulerStructure:
@@ -68,12 +112,45 @@ class TestSchedulerStructure:
         scheduler = ParallelRuleScheduler(get_ruleset("rho-df"), workers=1)
         with scheduler.session() as executor:
             assert executor is None
+        assert scheduler.effective_mode == "sequential"
 
     def test_session_parallel_yields_executor(self):
-        scheduler = ParallelRuleScheduler(get_ruleset("rho-df"), workers=3)
+        scheduler = ParallelRuleScheduler(
+            get_ruleset("rho-df"), workers=3, mode="thread"
+        )
+        assert scheduler.effective_mode == "thread"
         with scheduler.session() as executor:
             assert executor is not None
             assert executor.submit(lambda: 41 + 1).result() == 42
+
+    def test_standalone_process_scheduler_falls_back_to_threads(self):
+        # Built without vocab= (the engine provides it), an
+        # auto-derived process mode degrades to threads instead of
+        # failing the materialization.
+        from repro.kernels import get_backend
+
+        scheduler = ParallelRuleScheduler(
+            get_ruleset("rho-df"),
+            workers=2,
+            mode=None,
+            kernels=get_backend("python"),
+        )
+        scheduler._mode_forced = False
+        assert scheduler.mode == "process"
+        with pytest.warns(RuntimeWarning, match="falling back to threads"):
+            with scheduler.session() as executor:
+                assert executor is not None
+        assert scheduler.mode == "thread"
+
+    def test_forced_process_without_vocab_raises(self):
+        from repro.core.parallel import ProcessModeUnavailable
+
+        scheduler = ParallelRuleScheduler(
+            get_ruleset("rho-df"), workers=2, mode="process"
+        )
+        with pytest.raises(ProcessModeUnavailable, match="vocab"):
+            with scheduler.session():
+                pass  # pragma: no cover
 
 
 class TestEngineIntegration:
@@ -170,6 +247,172 @@ class TestErrorMessagesCarryWorkerCount:
             )
 
 
+class TestParallelModeSelection:
+    def test_sequential_reports_sequential(self):
+        engine = InferrayEngine("rdfs-default", workers=1)
+        assert engine.parallel_mode == "sequential"
+
+    @pytest.mark.parametrize("mode", ("thread", "process"))
+    def test_explicit_mode_is_honoured(self, mode):
+        engine = InferrayEngine(
+            "rdfs-default", backend="python", workers=2, parallel_mode=mode
+        )
+        assert engine.parallel_mode == mode
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.parallel_mode == mode
+        assert engine.contains(Triple(ex("Bart"), RDF.type, ex("animal")))
+
+    def test_auto_picks_process_for_python_backend(self):
+        engine = InferrayEngine(
+            "rdfs-default", backend="python", workers=2, parallel_mode="auto"
+        )
+        assert engine.parallel_mode == "process"
+
+    def test_auto_picks_thread_for_numpy_backend(self):
+        from repro.kernels import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy backend unavailable")
+        engine = InferrayEngine(
+            "rdfs-default", backend="numpy", workers=2, parallel_mode="auto"
+        )
+        assert engine.parallel_mode == "thread"
+
+    def test_env_mode_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", "thread")
+        engine = InferrayEngine("rdfs-default", backend="python", workers=2)
+        assert engine.parallel_mode == "thread"
+
+    def test_explicit_mode_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", "thread")
+        engine = InferrayEngine(
+            "rdfs-default",
+            backend="python",
+            workers=2,
+            parallel_mode="process",
+        )
+        assert engine.parallel_mode == "process"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="parallel mode"):
+            InferrayEngine(
+                "rdfs-default", workers=2, parallel_mode="fibers"
+            )
+
+    def test_unpicklable_custom_rules_fall_back_in_auto(self):
+        from repro.rules.spec import Rule, RuleContext
+
+        class LocalRule(Rule):  # unpicklable: defined in a function
+            def apply(self, ctx: RuleContext) -> None:
+                pass
+
+        engine = InferrayEngine(
+            [LocalRule("LOCAL")],
+            backend="python",
+            workers=2,
+            parallel_mode="auto",
+        )
+        assert engine.parallel_mode == "process"
+        engine.load_triples(INTRO)
+        with pytest.warns(RuntimeWarning, match="falling back to threads"):
+            engine.materialize()  # degrades to threads, does not raise
+        assert engine.parallel_mode == "thread"
+
+    def test_unpicklable_custom_rules_raise_when_forced(self):
+        from repro.core.parallel import ProcessModeUnavailable
+        from repro.rules.spec import Rule, RuleContext
+
+        class LocalRule(Rule):
+            def apply(self, ctx: RuleContext) -> None:
+                pass
+
+        engine = InferrayEngine(
+            [LocalRule("LOCAL")],
+            backend="python",
+            workers=2,
+            parallel_mode="process",
+        )
+        engine.load_triples(INTRO)
+        with pytest.raises(ProcessModeUnavailable, match="picklable"):
+            engine.materialize()
+
+    def test_tracer_pins_sequential_even_with_process_mode(self):
+        from repro.memsim.tracer import NullTracer
+
+        engine = InferrayEngine(
+            "rdfs-default",
+            tracer=NullTracer(),
+            workers=4,
+            parallel_mode="process",
+        )
+        assert engine.workers == 1
+        assert engine.parallel_mode == "sequential"
+
+
+class TestIntraRuleSplitting:
+    def test_forced_split_records_shards_and_matches_reference(self):
+        reference = InferrayEngine("rdfs-default", workers=1)
+        reference.load_triples(INTRO)
+        reference.materialize()
+        ref_tables = [
+            (pid, bytes(flat.tobytes()))
+            for pid, flat in reference.main.table_arrays()
+        ]
+
+        engine = InferrayEngine(
+            "rdfs-default",
+            workers=2,
+            parallel_mode="thread",
+            split_threshold=2,
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.rule_shards, "tiny threshold must split a join rule"
+        assert all(n >= 2 for n in stats.rule_shards.values())
+        tables = [
+            (pid, bytes(flat.tobytes()))
+            for pid, flat in engine.main.table_arrays()
+        ]
+        assert tables == ref_tables
+
+    def test_sequential_run_never_splits(self):
+        engine = InferrayEngine(
+            "rdfs-default", workers=1, split_threshold=2
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.rule_shards == {}
+
+    def test_zero_threshold_disables_splitting(self):
+        engine = InferrayEngine(
+            "rdfs-default",
+            workers=2,
+            parallel_mode="thread",
+            split_threshold=0,
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.rule_shards == {}
+
+    def test_split_threshold_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPLIT_THRESHOLD", "7")
+        engine = InferrayEngine("rdfs-default", workers=2)
+        assert engine.scheduler.split_threshold == 7
+
+    def test_bad_split_threshold_env_warns(self, monkeypatch):
+        from repro.core.parallel import (
+            DEFAULT_SPLIT_THRESHOLD,
+            resolve_split_threshold,
+        )
+
+        monkeypatch.setenv("REPRO_SPLIT_THRESHOLD", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_SPLIT_THRESHOLD"):
+            assert (
+                resolve_split_threshold(None) == DEFAULT_SPLIT_THRESHOLD
+            )
+
+
 class TestStoreIntegration:
     def test_store_config_threads_workers(self):
         store = Store(INTRO, config=StoreConfig(workers=2))
@@ -189,3 +432,23 @@ class TestStoreIntegration:
         reloaded = Store.load(path, workers=4)
         assert reloaded.engine.workers == 4
         assert set(reloaded.triples()) == set(store.triples())
+
+    def test_store_threads_parallel_mode_and_split_threshold(self):
+        store = Store(
+            INTRO,
+            config=StoreConfig(
+                backend="python",
+                workers=2,
+                parallel_mode="process",
+                split_threshold=5,
+            ),
+        )
+        assert store.engine.parallel_mode == "process"
+        assert store.engine.scheduler.split_threshold == 5
+        assert Triple(ex("Bart"), RDF.type, ex("animal")) in store
+        assert store.stats.parallel_mode == "process"
+
+    def test_store_kwarg_threads_parallel_mode(self):
+        store = Store(INTRO, workers=2, parallel_mode="thread")
+        assert store.engine.parallel_mode == "thread"
+        assert len(store) > len(INTRO)

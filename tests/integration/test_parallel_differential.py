@@ -1,11 +1,15 @@
 """Differential proof for the parallel rule scheduler.
 
-For every ruleset × kernel backend × worker count, the materialized
-closure must be *identical on encoded ids* to the sequential
-(``workers=1``) run — not just set-equal after decoding: the committed
-pair arrays themselves must match byte for byte, which is the
-scheduler's determinism guarantee (sort+dedup makes the commit a pure
-function of the emitted set, and the commit order is fixed).
+For every ruleset × kernel backend × executor mode × worker count, the
+materialized closure must be *identical on encoded ids* to the
+sequential (``workers=1``) run — not just set-equal after decoding:
+the committed pair arrays themselves must match byte for byte, which
+is the scheduler's determinism guarantee (sort+dedup makes the commit
+a pure function of the emitted set, and the commit order is fixed).
+The guarantee covers both executor substrates — threads and
+shared-memory worker processes — and intra-rule key-range splitting
+(forced here with a tiny threshold so even these small closures
+shard).
 
 Datasets: a BSBM-like instance-heavy workload, a LUBM-like ontology
 workload, and a θ-heavy chain mix (subClassOf + transitive property +
@@ -29,6 +33,8 @@ from repro.rules.rulesets import RULESET_NAMES
 
 WORKER_COUNTS = (1, 2, 4)
 
+MODES = ("thread", "process")
+
 BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
 
 DATASETS = {
@@ -45,8 +51,22 @@ DATASETS = {
 _REFERENCE = {}
 
 
-def _materialize(dataset_key, ruleset, backend, workers):
-    engine = InferrayEngine(ruleset, backend=backend, workers=workers)
+def _materialize(
+    dataset_key,
+    ruleset,
+    backend,
+    workers,
+    *,
+    mode="thread",
+    split_threshold=None,
+):
+    engine = InferrayEngine(
+        ruleset,
+        backend=backend,
+        workers=workers,
+        parallel_mode=mode,
+        split_threshold=split_threshold,
+    )
     engine.load_triples(DATASETS[dataset_key])
     stats = engine.materialize()
     encoded = frozenset(engine.encoded_triples())
@@ -64,20 +84,11 @@ def _reference(dataset_key, ruleset, backend):
     return _REFERENCE[key]
 
 
-@pytest.mark.parametrize("dataset_key", sorted(DATASETS))
-@pytest.mark.parametrize("backend", BACKENDS)
-@pytest.mark.parametrize("ruleset", RULESET_NAMES)
-@pytest.mark.parametrize("workers", WORKER_COUNTS)
-def test_parallel_closure_equals_sequential(
-    dataset_key, ruleset, backend, workers
-):
+def _assert_matches_reference(dataset_key, ruleset, backend, run):
     ref_encoded, ref_tables, ref_stats = _reference(
         dataset_key, ruleset, backend
     )
-    encoded, tables, stats = _materialize(
-        dataset_key, ruleset, backend, workers
-    )
-    assert stats.workers == workers
+    encoded, tables, stats = run
     assert stats.n_waves >= 1
     # Same fixed point, same number of iterations to reach it.
     assert stats.iterations == ref_stats.iterations
@@ -86,15 +97,75 @@ def test_parallel_closure_equals_sequential(
     assert tables == ref_tables
 
 
+@pytest.mark.parametrize("dataset_key", sorted(DATASETS))
 @pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("ruleset", RULESET_NAMES)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_closure_equals_sequential(
+    dataset_key, ruleset, backend, workers
+):
+    run = _materialize(dataset_key, ruleset, backend, workers)
+    assert run[2].workers == workers
+    _assert_matches_reference(dataset_key, ruleset, backend, run)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("ruleset", RULESET_NAMES)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_process_mode_closure_equals_sequential(backend, ruleset, workers):
+    """Shared-memory worker processes reach the same committed bytes."""
+    run = _materialize(
+        "bsbm", ruleset, backend, workers, mode="process"
+    )
+    stats = run[2]
+    assert stats.workers == workers
+    if workers > 1:
+        assert stats.parallel_mode == "process"
+    _assert_matches_reference("bsbm", ruleset, backend, run)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("workers", (2, 4))
-def test_parallel_incremental_equals_sequential_batch(backend, workers):
+def test_forced_intra_rule_split_closure_is_byte_identical(
+    backend, mode, workers
+):
+    """A tiny split threshold shards the join rules; bytes must hold."""
+    run = _materialize(
+        "bsbm",
+        "rdfs-default",
+        backend,
+        workers,
+        mode=mode,
+        split_threshold=2,
+    )
+    stats = run[2]
+    assert stats.rule_shards, "threshold=2 must split at least one rule"
+    assert max(stats.rule_shards.values()) <= workers
+    _assert_matches_reference("bsbm", "rdfs-default", backend, run)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_theta_heavy_split_closure_is_byte_identical(mode):
+    """Sharding composes with the θ pre-pass machinery."""
+    run = _materialize(
+        "chains", "rdfs-plus", "python", 2, mode=mode, split_threshold=2
+    )
+    _assert_matches_reference("chains", "rdfs-plus", "python", run)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("workers", (2, 4))
+def test_parallel_incremental_equals_sequential_batch(
+    backend, mode, workers
+):
     """The incremental path also schedules rules; closures must agree."""
     first = DATASETS["bsbm"][:40]
     second = DATASETS["bsbm"][40:]
 
     parallel = InferrayEngine(
-        "rdfs-default", backend=backend, workers=workers
+        "rdfs-default", backend=backend, workers=workers, parallel_mode=mode
     )
     parallel.load_triples(first)
     parallel.materialize()
