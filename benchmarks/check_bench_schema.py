@@ -1,6 +1,9 @@
-"""Schema check for the Table-2 benchmark report (CI smoke job).
+"""Schema check for the benchmark reports (CI smoke jobs).
 
-Validates a freshly generated ``BENCH_table2.json`` in two layers:
+Dispatches on the report's ``table`` field — ``table2-rdfs``
+(BENCH_table2.json, inference times) or ``serving``
+(BENCH_serving.json, server latency/QPS) — and validates in two
+layers:
 
 1. **Structural invariants** — the assertions the smoke job has always
    made (records present, inferray cells infer something, the
@@ -14,6 +17,7 @@ Validates a freshly generated ``BENCH_table2.json`` in two layers:
 
 Usage:
     python benchmarks/check_bench_schema.py FRESH.json [--baseline BENCH_table2.json]
+    python benchmarks/check_bench_schema.py FRESH.json --baseline BENCH_serving.json
 """
 
 import argparse
@@ -64,6 +68,49 @@ def _dynamic_key(path):
     """Paths keyed by data-dependent names (mode labels, datasets) are
     compared per-section, not literally."""
     return ".modes." in path or ".cells[*].modes" in path
+
+
+def _check_latency_block(block, context):
+    for key in ("n", "p50_ms", "p99_ms", "mean_ms", "qps", "errors"):
+        assert key in block, (context, key, sorted(block))
+    assert block["n"] > 0, (context, "no requests completed")
+    assert block["errors"] == 0, (context, block["errors"])
+    assert block["p50_ms"] > 0, (context, block)
+    assert block["p99_ms"] >= block["p50_ms"], (context, block)
+    assert block["qps"] > 0, (context, block)
+
+
+def check_serving_structure(report):
+    assert report["table"] == "serving", report.get("table")
+    config = report["config"]
+    for key in ("readers", "writers", "queue_depth", "ruleset", "backend"):
+        assert key in config, (key, sorted(config))
+
+    phases = report["phases"]
+    assert set(phases) >= {"read_only", "mixed"}, sorted(phases)
+    _check_latency_block(phases["read_only"]["read"], "read_only.read")
+    assert "write" not in phases["read_only"], "read-only phase wrote"
+    _check_latency_block(phases["mixed"]["read"], "mixed.read")
+    _check_latency_block(phases["mixed"]["write"], "mixed.write")
+    assert phases["mixed"]["write"]["rejected_429"] >= 0
+
+    server = report["server"]
+    for key in ("epoch_final", "n_triples_final", "flush", "queue"):
+        assert key in server, (key, sorted(server))
+    flush = server["flush"]
+    # The mixed phase wrote, so the writer must have flushed — and
+    # coalescing means flushes never exceed mutations.
+    assert flush["flushes"] >= 1, flush
+    assert flush["failures"] == 0, flush
+    assert flush["coalesced_mutations"] >= flush["flushes"], flush
+    assert server["epoch_final"] >= 2, server["epoch_final"]
+    queue = server["queue"]
+    assert queue["depth"] == 0, "queue not drained before sampling"
+    assert queue["enqueued_total"] >= flush["coalesced_mutations"], (
+        queue,
+        flush,
+    )
+    return phases["read_only"]["read"]["n"] + phases["mixed"]["read"]["n"]
 
 
 def check_structure(report):
@@ -133,9 +180,32 @@ def main(argv=None):
     args = parser.parse_args(argv)
     with open(args.report, encoding="utf-8") as handle:
         report = json.load(handle)
-    n_records = check_structure(report)
     with open(args.baseline, encoding="utf-8") as handle:
         baseline = json.load(handle)
+    assert report.get("table") == baseline.get("table"), (
+        "report/baseline table mismatch:",
+        report.get("table"),
+        baseline.get("table"),
+    )
+
+    if report.get("table") == "serving":
+        n_reads = check_serving_structure(report)
+        added = check_against_baseline(report, baseline)
+        mixed = report["phases"]["mixed"]
+        flush = report["server"]["flush"]
+        print(
+            f"OK: {n_reads} reads; mixed read p50 "
+            f"{mixed['read']['p50_ms']:.2f} ms / p99 "
+            f"{mixed['read']['p99_ms']:.2f} ms @ "
+            f"{mixed['read']['qps']:.0f} q/s; "
+            f"{flush['flushes']} flushes coalescing "
+            f"{flush['coalesced_mutations']} mutations"
+        )
+        if added:
+            print(f"note: fields added vs baseline: {sorted(added)}")
+        return 0
+
+    n_records = check_structure(report)
     added = check_against_baseline(report, baseline)
     speedups = report["parallel_modes"]["speedups"]
     summary = ", ".join(

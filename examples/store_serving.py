@@ -12,15 +12,23 @@ on:
 3. **Persistence** — ``save()`` serializes the dictionary plus the
    sorted pair arrays; ``Store.load()`` restores the closure in
    O(read), so a warm replica never re-runs inference.
+4. **The HTTP server** — ``repro.serving.ServerThread`` wraps the
+   same store in the asyncio reasoning server: reads answer from
+   published snapshot epochs, writes coalesce through the mutation
+   queue, and ``/metrics`` exposes the flush/staleness gauges.
 
 Run:  python examples/store_serving.py
 """
 
+import http.client
+import json
 import os
 import tempfile
+import urllib.parse
 
 from repro import Store
 from repro.rdf import RDF, RDFS, Triple, iri
+from repro.serving import ServerThread
 
 EX = "http://example.org/"
 
@@ -60,17 +68,52 @@ def main() -> None:
     assert ex("SantasHelper") not in animals_now
 
     # Persist the closed store and reload it without inference.
-    path = os.path.join(tempfile.mkdtemp(), "taxonomy.store")
-    n_bytes = store.save(path)
-    replica = Store.load(path)
-    print(f"Saved {n_bytes:,} bytes; replica serves {replica.n_triples} "
-          "triples without re-running inference.")
-    assert set(replica.triples()) == set(store.triples())
-    assert replica.engine.stats is None  # no materialization ran
-    answers = replica.query("?who a " + EX + "mammal")
-    print(f"Replica answers ?who a ex:mammal -> "
-          f"{sorted(str(s['who']) for s in answers)}")
-    os.unlink(path)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = os.path.join(tmpdir, "taxonomy.store")
+        n_bytes = store.save(path)
+        replica = Store.load(path)
+        print(f"Saved {n_bytes:,} bytes; replica serves {replica.n_triples} "
+              "triples without re-running inference.")
+        assert set(replica.triples()) == set(store.triples())
+        assert replica.engine.stats is None  # no materialization ran
+        answers = replica.query("?who a " + EX + "mammal")
+        print(f"Replica answers ?who a ex:mammal -> "
+              f"{sorted(str(s['who']) for s in answers)}")
+
+    # Serve the replica over HTTP: readers pin snapshot epochs while
+    # writes coalesce through the mutation queue.
+    with ServerThread(replica, port=0) as handle:
+        host, port = handle.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+
+        def call(method, path, body=None):
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, response.read()
+
+        status, body = call("GET", "/health")
+        health = json.loads(body)
+        print(f"GET /health -> {status} {health['status']}, "
+              f"epoch {health['epoch']}, {health['n_triples']} triples")
+
+        nt = f"<{EX}Maggie> <{RDF.type.value}> <{EX}human> .\n"
+        status, body = call("POST", "/add?wait=1", nt)
+        landed = json.loads(body)
+        print(f"POST /add?wait=1 -> {status}, flushed at "
+              f"epoch {landed['epoch']}")
+
+        bgp = urllib.parse.quote(f"?who a <{EX}mammal>")
+        status, body = call("GET", f"/query?q={bgp}")
+        payload = json.loads(body)
+        print(f"GET /query -> {payload['n']} mammals at "
+              f"epoch {payload['epoch']}")
+        assert f"<{EX}Maggie>" in {s["who"] for s in payload["solutions"]}
+
+        status, body = call("GET", "/metrics")
+        flushes = [line for line in body.decode().splitlines()
+                   if line.startswith("repro_serving_flush_total")]
+        print(f"GET /metrics -> {flushes[0]}")
+        conn.close()
 
 
 if __name__ == "__main__":

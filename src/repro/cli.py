@@ -177,6 +177,43 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(query_cmd)
     _add_workers_argument(query_cmd)
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="serve a dataset or store file over HTTP "
+        "(query/add/remove/stats/health/metrics)",
+    )
+    serve_cmd.add_argument(
+        "input",
+        help="serialized store (from 'save') or N-Triples/Turtle file",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="listen address"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 picks an ephemeral one)",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="pending write batches before 429 back-pressure",
+    )
+    serve_cmd.add_argument(
+        "--retained-epochs", type=int, default=8, metavar="N",
+        help="snapshot epochs kept pinnable via ?epoch=N",
+    )
+    serve_cmd.add_argument(
+        "--flush-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock bound per materialization flush "
+        "(failed flushes keep the writes queued and retry)",
+    )
+    serve_cmd.add_argument(
+        "--read-workers", type=int, default=4, metavar="N",
+        help="threads answering BGP queries",
+    )
+    _add_ruleset_argument(serve_cmd, default=None)
+    _add_backend_argument(serve_cmd)
+    _add_workers_argument(serve_cmd)
+
     return parser
 
 
@@ -371,6 +408,38 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .serving import run as run_server
+
+    store = _open_store(args)
+    if args.flush_timeout is not None:
+        from dataclasses import replace
+
+        store.config = replace(
+            store.config, timeout_seconds=args.flush_timeout
+        )
+    store.materialize()
+    print(
+        f"repro: closure ready ({store.n_triples} triples, "
+        f"ruleset={store.engine.ruleset_name}, "
+        f"backend={store.engine.kernels.name})",
+        file=sys.stderr,
+    )
+
+    def announce(host: str, port: int) -> None:
+        print(f"repro: serving on http://{host}:{port}", file=sys.stderr)
+
+    return run_server(
+        store,
+        host=args.host,
+        port=args.port,
+        announce=announce,
+        queue_depth=args.queue_depth,
+        retained_epochs=args.retained_epochs,
+        read_workers=args.read_workers,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -381,6 +450,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "save": _run_save,
         "load": _run_load,
         "query": _run_query,
+        "serve": _run_serve,
     }
     try:
         return handlers[args.command](args)

@@ -293,13 +293,28 @@ class Snapshot(_ReadAPI):
     seeing a consistent closure while writers mutate the store.
     """
 
-    __slots__ = ("_tables", "_dictionary", "_asserted", "ruleset_name")
+    __slots__ = (
+        "_tables",
+        "_dictionary",
+        "_asserted",
+        "ruleset_name",
+        "epoch",
+    )
 
-    def __init__(self, tables, dictionary, asserted, ruleset_name: str):
+    def __init__(
+        self,
+        tables,
+        dictionary,
+        asserted,
+        ruleset_name: str,
+        epoch: int = 0,
+    ):
         self._tables = tables
         self._dictionary = dictionary
         self._asserted = frozenset(asserted)
         self.ruleset_name = ruleset_name
+        #: The store's closure epoch this snapshot was pinned at.
+        self.epoch = epoch
 
     def _view(self):
         return self._tables, self._dictionary, self._asserted
@@ -307,7 +322,7 @@ class Snapshot(_ReadAPI):
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"<Snapshot {self.n_triples} triples, "
-            f"ruleset={self.ruleset_name!r}>"
+            f"epoch={self.epoch}, ruleset={self.ruleset_name!r}>"
         )
 
 
@@ -345,6 +360,8 @@ class Store(_ReadAPI):
         self._pending_adds: List[Triple] = []
         self._pending_removes: List[Triple] = []
         self._last_stats: Optional[MaterializationStats] = None
+        #: Monotonic closure version: bumped on every successful flush.
+        self._epoch = 0
         if triples is not None:
             self.add(triples)
 
@@ -392,31 +409,45 @@ class Store(_ReadAPI):
         return len(self._pending_adds) - before
 
     def remove(self, triples: Union[Triple, Iterable[Triple]]) -> int:
-        """Schedule asserted triples for retraction; returns the count.
+        """Schedule asserted triples for retraction; returns the count
+        of distinct triples actually dequeued or scheduled.
 
         Every queued (pending-add) copy of the triple is dropped, and
         if the triple is *also* already asserted in the engine a
         retraction is scheduled too — ``remove`` always wins over any
         earlier ``add``.  Retracting triples that were never asserted
         (inferred or unknown) is a no-op, mirroring
-        :meth:`InferrayEngine.retract_and_rematerialize`.
+        :meth:`InferrayEngine.retract_and_rematerialize`, and does not
+        count toward the return value.
         """
         if isinstance(triples, Triple):
             triples = [triples]
-        engine_asserted = None  # built lazily, once per remove() call
+        targets = list(triples)
+        if not targets:
+            return 0
+        target_set = set(targets)
+        dequeued = set()
+        if self._pending_adds:
+            kept = []
+            for pending in self._pending_adds:
+                if pending in target_set:
+                    dequeued.add(pending)
+                else:
+                    kept.append(pending)
+            self._pending_adds = kept
+        engine_asserted = set(self._engine.asserted_encoded())
         scheduled = 0
-        for triple in triples:
-            if triple in self._pending_adds:
-                self._pending_adds = [
-                    pending
-                    for pending in self._pending_adds
-                    if pending != triple
-                ]
-            if engine_asserted is None:
-                engine_asserted = set(self._engine.asserted_encoded())
+        seen = set()
+        for triple in targets:
+            if triple in seen:
+                continue
+            seen.add(triple)
+            hit = triple in dequeued
             if self._encode_known(triple) in engine_asserted:
                 self._pending_removes.append(triple)
-            scheduled += 1
+                hit = True
+            if hit:
+                scheduled += 1
         return scheduled
 
     def _encode_known(self, triple: Triple):
@@ -441,7 +472,14 @@ class Store(_ReadAPI):
     # Materialization control
     # ------------------------------------------------------------------
     def _refresh(self) -> Optional[MaterializationStats]:
-        """Flush pending mutations; returns stats if inference ran."""
+        """Flush pending mutations; returns stats if inference ran.
+
+        A failed flush (timeout, fixed-point bound, kernel error) must
+        never lose writes: each stage's delta stays queued until the
+        engine has durably absorbed it, and on exception whatever was
+        not yet handed over is restored to the pending queues, so
+        :attr:`stale` remains true and a later flush retries it.
+        """
         engine = self._engine
         timeout = self.config.timeout_seconds
         adds = self._pending_adds
@@ -450,28 +488,65 @@ class Store(_ReadAPI):
             if engine.is_materialized:
                 return None
             stats = engine.materialize(timeout_seconds=timeout)
-            self._last_stats = stats
+            self._commit_flush(stats)
             return stats
         self._pending_adds = []
         self._pending_removes = []
-        if removes:
-            # Deletion: forward chaining requires a rebuild (paper §1).
-            stats = engine.retract_and_rematerialize(
-                removes, timeout_seconds=timeout
-            )
-            if adds:
+        try:
+            if removes:
+                # Deletion: forward chaining requires a rebuild
+                # (paper §1).
+                stats = engine.retract_and_rematerialize(
+                    removes, timeout_seconds=timeout
+                )
+                removes = []
+                if adds:
+                    stats = engine.materialize_incremental(
+                        adds, timeout_seconds=timeout
+                    )
+                    adds = []
+            elif engine.is_materialized:
                 stats = engine.materialize_incremental(
                     adds, timeout_seconds=timeout
                 )
-        elif engine.is_materialized:
-            stats = engine.materialize_incremental(
-                adds, timeout_seconds=timeout
-            )
-        else:
-            engine.load_triples(adds)
-            stats = engine.materialize(timeout_seconds=timeout)
-        self._last_stats = stats
+                adds = []
+            else:
+                engine.load_triples(adds)
+                adds = []
+                stats = engine.materialize(timeout_seconds=timeout)
+        except BaseException:
+            self._restore_pending(adds, removes)
+            raise
+        self._commit_flush(stats)
         return stats
+
+    def _commit_flush(self, stats: MaterializationStats) -> None:
+        """Record a successful flush: stats and a new closure epoch."""
+        self._last_stats = stats
+        self._epoch += 1
+
+    def _restore_pending(
+        self, adds: List[Triple], removes: List[Triple]
+    ) -> None:
+        """Re-queue the deltas a failed flush had not yet applied.
+
+        Deltas the engine absorbed before failing are filtered out by
+        probing its asserted set: an aborted incremental flush has
+        already extended ``_asserted`` (and an aborted rebuild already
+        dropped the retracted triples), and the engine's own staleness
+        flag makes the next flush finish the inference over them —
+        re-queueing those would double-apply the delta.
+        """
+        if adds or removes:
+            absorbed = set(self._engine.asserted_encoded())
+            adds = [
+                t for t in adds if self._encode_known(t) not in absorbed
+            ]
+            removes = [
+                t for t in removes if self._encode_known(t) in absorbed
+            ]
+        self._pending_adds = adds + self._pending_adds
+        self._pending_removes = removes + self._pending_removes
 
     def materialize(self) -> MaterializationStats:
         """Force the closure current now; returns the run's stats.
@@ -492,6 +567,16 @@ class Store(_ReadAPI):
     def stats(self) -> Optional[MaterializationStats]:
         """Stats of the most recent materialization flush, if any."""
         return self._last_stats
+
+    @property
+    def epoch(self) -> int:
+        """The closure version: bumped on every successful flush.
+
+        Snapshots carry the epoch they were pinned at, so a serving
+        layer can tell readers exactly which closure version answered
+        (and how far behind the live store a pinned reader is).
+        """
+        return self._epoch
 
     @property
     def engine(self) -> InferrayEngine:
@@ -535,6 +620,7 @@ class Store(_ReadAPI):
             engine.dictionary,
             engine.asserted_encoded(),
             engine.ruleset_name,
+            self._epoch,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,109 @@
+"""The single batching mutation queue behind the reasoning server.
+
+All writes funnel through one :class:`MutationQueue` consumed by one
+writer task.  Producers (request handlers) enqueue without blocking —
+a full queue raises :class:`QueueFull`, which the server maps to a
+``429`` with ``Retry-After`` (back-pressure instead of unbounded
+buffering).  The consumer drains *everything* queued in one go: while
+an incremental flush is running, arriving mutations pile up and land
+together in the next flush, so bursts coalesce into one fixed-point run
+per flush instead of one per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..rdf.terms import Triple
+
+__all__ = ["Mutation", "MutationQueue", "QueueClosed", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """The bounded queue rejected a mutation (back-pressure)."""
+
+    def __init__(self, depth: int):
+        super().__init__(f"mutation queue full ({depth} pending batches)")
+        self.depth = depth
+
+
+class QueueClosed(Exception):
+    """The server is shutting down; no further writes are accepted."""
+
+
+@dataclass
+class Mutation:
+    """One client write: a batch of triples to assert or retract."""
+
+    kind: str  # 'add' | 'remove'
+    triples: Sequence[Triple]
+    #: Monotonic enqueue timestamp, for staleness metrics.
+    enqueued_at: float = field(default_factory=time.monotonic)
+    #: Resolved with the epoch the batch landed in (``?wait=1``), or
+    #: failed when the flush that owned it errored.
+    future: Optional[asyncio.Future] = None
+
+
+class MutationQueue:
+    """Bounded, single-consumer, drain-everything batching queue."""
+
+    def __init__(self, max_depth: int = 256):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._items: deque = deque()
+        self._arrival = asyncio.Event()
+        self.closed = False
+        self.total_enqueued = 0
+        self.total_rejected = 0
+        self.total_triples = 0
+
+    @property
+    def depth(self) -> int:
+        """Mutations currently queued (not yet picked up by the writer)."""
+        return len(self._items)
+
+    def oldest_enqueued_at(self) -> Optional[float]:
+        """Enqueue time of the oldest queued mutation, if any."""
+        return self._items[0].enqueued_at if self._items else None
+
+    def try_put(self, mutation: Mutation) -> None:
+        """Enqueue or raise :class:`QueueFull` / :class:`QueueClosed`."""
+        if self.closed:
+            raise QueueClosed("server is draining; write rejected")
+        if len(self._items) >= self.max_depth:
+            self.total_rejected += 1
+            raise QueueFull(self.max_depth)
+        self._items.append(mutation)
+        self.total_enqueued += 1
+        self.total_triples += len(mutation.triples)
+        self._arrival.set()
+
+    def drain(self) -> List[Mutation]:
+        """Everything currently queued, without waiting."""
+        batch = list(self._items)
+        self._items.clear()
+        self._arrival.clear()
+        return batch
+
+    async def get_batch(self) -> List[Mutation]:
+        """Wait for at least one mutation, then drain the whole queue.
+
+        Returns an empty batch only when the queue was closed and
+        nothing is left — the writer's signal to finish.
+        """
+        while not self._items:
+            if self.closed:
+                return []
+            self._arrival.clear()
+            await self._arrival.wait()
+        return self.drain()
+
+    def close(self) -> None:
+        """Refuse further writes and wake the waiting consumer."""
+        self.closed = True
+        self._arrival.set()

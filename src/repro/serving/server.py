@@ -1,0 +1,573 @@
+"""The asyncio reasoning server: snapshot reads, one batching writer.
+
+Architecture (the VLog/LiteMat shape: materialization behind a
+query-serving front end):
+
+* **Reads never touch the live store.**  After every flush the writer
+  publishes an immutable :class:`~repro.core.store_api.Snapshot`; query
+  handlers answer from the currently published snapshot (or from an
+  older retained epoch pinned via ``?epoch=N``), so a reader never
+  observes a partially flushed closure and readers scale without
+  locking writers.
+* **All writes funnel through one batching queue.**  ``POST /add`` and
+  ``POST /remove`` enqueue; a single writer task drains the whole queue
+  into the store and runs *one* incremental flush per batch — bursts
+  coalesce naturally while a flush is in progress.  A full queue is
+  back-pressure: ``429`` with ``Retry-After``.
+* **Failed flushes lose nothing.**  The store's mutation queues survive
+  a :class:`~repro.core.engine.MaterializationTimeout` (or any flush
+  error); the writer backs off and retries, and ``?wait=1`` clients get
+  a ``503`` telling them the write is queued, not lost.
+* **Graceful shutdown drains.**  Stopping closes the listener and the
+  queue, flushes everything still pending, then resolves in-flight
+  waiters before the loop exits.
+
+Endpoints: ``GET /health``, ``GET /stats``, ``GET /metrics``
+(Prometheus text), ``GET|POST /query``, ``POST /add``,
+``POST /remove`` — mirroring the CLI verbs.  Wire format for mutations
+is N-Triples (the same format every loader in the repo speaks); query
+responses are JSON with terms rendered in N-Triples syntax.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from ..core.store_api import Snapshot, Store
+from ..query.bgp import BGPSyntaxError
+from ..rdf.ntriples import NTriplesError, parse
+from .http import HTTPError, Request, json_body, read_request, render_response
+from .metrics import ServingMetrics
+from .queue import Mutation, MutationQueue, QueueClosed, QueueFull
+
+__all__ = ["FlushFailed", "ReasoningServer"]
+
+#: (status, body, content-type, extra headers) produced by a handler.
+Response = Tuple[int, bytes, str, Dict[str, str]]
+
+
+class FlushFailed(RuntimeError):
+    """A ``?wait=1`` write's flush errored; the write stays queued."""
+
+
+class ReasoningServer:
+    """Serve a :class:`repro.Store` over HTTP with snapshot isolation.
+
+    Parameters
+    ----------
+    store:
+        The store to serve.  The server becomes its only writer; don't
+        mutate it from elsewhere while the server runs.
+    host, port:
+        Listen address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    queue_depth:
+        Bound on queued (un-flushed) mutations before writes are
+        rejected with ``429`` back-pressure.
+    retained_epochs:
+        How many recent snapshot epochs stay pinnable via ``?epoch=N``;
+        older epochs answer ``410 Gone``.
+    flush_retry_seconds:
+        Back-off before the writer retries a failed flush.
+    read_workers:
+        Threads answering BGP queries off the event loop.
+    default_limit:
+        Cap on solutions returned when the client sends no ``limit``.
+    """
+
+    def __init__(
+        self,
+        store: Store,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        queue_depth: int = 256,
+        retained_epochs: int = 8,
+        flush_retry_seconds: float = 0.5,
+        read_workers: int = 4,
+        default_limit: int = 1000,
+        max_drain_failures: int = 3,
+    ):
+        self._store = store
+        self.host = host
+        self.port = port
+        self.retained_epochs = max(1, retained_epochs)
+        self.default_limit = default_limit
+        self._flush_retry_seconds = flush_retry_seconds
+        self._max_drain_failures = max_drain_failures
+        self.queue = MutationQueue(max_depth=queue_depth)
+        self.metrics = ServingMetrics()
+        self._epochs: "OrderedDict[int, Snapshot]" = OrderedDict()
+        self._current: Optional[Snapshot] = None
+        self._epoch_published_at = time.monotonic()
+        self._started_at = time.monotonic()
+        self._last_flush_error: Optional[str] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._connections: set = set()
+        self._stopping = False
+        self._closed = asyncio.Event()
+        self._flush_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-flush"
+        )
+        self._read_pool = ThreadPoolExecutor(
+            max_workers=max(1, read_workers),
+            thread_name_prefix="repro-read",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Materialize, publish epoch 1, start listening and writing."""
+        loop = asyncio.get_running_loop()
+        snapshot, _ = await loop.run_in_executor(
+            self._flush_pool, self._flush_sync
+        )
+        self._publish(snapshot)
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self._writer_task = asyncio.create_task(
+            self._writer_loop(), name="repro-serving-writer"
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` ephemerality."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def epoch(self) -> int:
+        """The currently published closure epoch."""
+        return self._current.epoch if self._current is not None else 0
+
+    def request_stop(self) -> None:
+        """Begin a graceful shutdown from anywhere on the loop."""
+        if not self._stopping:
+            asyncio.ensure_future(self.stop())
+
+    async def wait_closed(self) -> None:
+        """Block until a requested shutdown has fully drained."""
+        await self._closed.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain the queue, flush."""
+        if self._stopping:
+            await self._closed.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.queue.close()
+        if self._writer_task is not None:
+            await self._writer_task
+        if self._connections:
+            done, pending = await asyncio.wait(
+                list(self._connections), timeout=1.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(list(pending), timeout=1.0)
+        self._flush_pool.shutdown(wait=True)
+        self._read_pool.shutdown(wait=True)
+        self._closed.set()
+
+    # ------------------------------------------------------------------
+    # The single writer
+    # ------------------------------------------------------------------
+    def _flush_sync(self):
+        """Flush + snapshot, on the dedicated flush thread."""
+        stats = self._store.materialize()
+        snapshot = self._store.snapshot()
+        return snapshot, stats
+
+    async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        waiters: List[asyncio.Future] = []
+        consecutive_failures = 0
+        while True:
+            if self._store.stale or self.queue.depth:
+                batch = self.queue.drain()
+            else:
+                batch = await self.queue.get_batch()
+                if not batch:
+                    break  # closed and empty, nothing stale
+            n_triples = 0
+            for mutation in batch:
+                if mutation.kind == "add":
+                    self._store.add(list(mutation.triples))
+                else:
+                    self._store.remove(list(mutation.triples))
+                n_triples += len(mutation.triples)
+                if mutation.future is not None:
+                    waiters.append(mutation.future)
+            if self._store.stale:
+                started = time.monotonic()
+                try:
+                    snapshot, _ = await loop.run_in_executor(
+                        self._flush_pool, self._flush_sync
+                    )
+                except Exception as error:
+                    consecutive_failures += 1
+                    self.metrics.flush_failures_total += 1
+                    detail = f"{type(error).__name__}: {error}"
+                    self._last_flush_error = detail
+                    self._fail_waiters(waiters, detail)
+                    waiters = []
+                    if (
+                        self.queue.closed
+                        and consecutive_failures >= self._max_drain_failures
+                    ):
+                        break  # shutting down and the flush won't land
+                    await asyncio.sleep(self._flush_retry_seconds)
+                    continue
+                consecutive_failures = 0
+                self._publish(
+                    snapshot,
+                    latency=time.monotonic() - started,
+                    batch=len(batch),
+                    n_triples=n_triples,
+                )
+            self._resolve_waiters(waiters)
+            waiters = []
+            if (
+                self.queue.closed
+                and not self.queue.depth
+                and not self._store.stale
+            ):
+                break
+        self._fail_waiters(waiters, "server stopped before the flush landed")
+
+    def _resolve_waiters(self, waiters: List[asyncio.Future]) -> None:
+        for future in waiters:
+            if not future.done():
+                future.set_result(self.epoch)
+
+    def _fail_waiters(self, waiters: List[asyncio.Future], detail: str) -> None:
+        for future in waiters:
+            if not future.done():
+                future.set_exception(FlushFailed(detail))
+
+    def _publish(
+        self,
+        snapshot: Snapshot,
+        *,
+        latency: Optional[float] = None,
+        batch: int = 0,
+        n_triples: int = 0,
+    ) -> None:
+        self._current = snapshot
+        self._epochs[snapshot.epoch] = snapshot
+        while len(self._epochs) > self.retained_epochs:
+            self._epochs.popitem(last=False)
+        self._epoch_published_at = time.monotonic()
+        if latency is not None:
+            self.metrics.record_flush(latency, batch, n_triples)
+
+    # ------------------------------------------------------------------
+    # Connections and routing
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                request = await read_request(reader)
+            except HTTPError as error:
+                self.metrics.errors_total += 1
+                writer.write(
+                    render_response(
+                        error.status,
+                        json_body({"error": error.message}),
+                        headers=error.headers,
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if request is None:
+                return
+            keep_alive = request.keep_alive and not self._stopping
+            try:
+                status, body, content_type, headers = await self._route(
+                    request
+                )
+            except HTTPError as error:
+                if error.status == 429:
+                    self.metrics.rejected_total += 1
+                else:
+                    self.metrics.errors_total += 1
+                status, content_type = error.status, "application/json"
+                body = json_body({"error": error.message})
+                headers = error.headers
+            except Exception as error:  # a handler bug must not kill serving
+                self.metrics.errors_total += 1
+                status, content_type = 500, "application/json"
+                body = json_body(
+                    {"error": f"{type(error).__name__}: {error}"}
+                )
+                headers = {}
+            writer.write(
+                render_response(
+                    status,
+                    body,
+                    content_type=content_type,
+                    headers=headers,
+                    keep_alive=keep_alive,
+                )
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _route(self, request: Request) -> Response:
+        path = request.path.rstrip("/") or "/"
+        routes = {
+            "/health": (("GET",), self._handle_health),
+            "/stats": (("GET",), self._handle_stats),
+            "/metrics": (("GET",), self._handle_metrics),
+            "/query": (("GET", "POST"), self._handle_query),
+            "/add": (("POST",), self._handle_add),
+            "/remove": (("POST",), self._handle_remove),
+        }
+        entry = routes.get(path)
+        if entry is None:
+            raise HTTPError(404, f"no such endpoint {request.path!r}")
+        methods, handler = entry
+        if request.method not in methods:
+            raise HTTPError(
+                405,
+                f"{request.method} not allowed on {path}",
+                headers={"Allow": ", ".join(methods)},
+            )
+        return await handler(request)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def _pin_epoch(self, request: Request) -> Snapshot:
+        """The snapshot a read runs against (current, or ``?epoch=N``)."""
+        wanted = request.int_param("epoch")
+        current = self._current
+        if wanted is None or wanted == current.epoch:
+            return current
+        snapshot = self._epochs.get(wanted)
+        if snapshot is None:
+            raise HTTPError(
+                410,
+                f"epoch {wanted} is no longer retained "
+                f"(current epoch {current.epoch}, retaining "
+                f"{len(self._epochs)})",
+            )
+        self.metrics.read_epoch_lag.observe(current.epoch - wanted)
+        return snapshot
+
+    async def _handle_query(self, request: Request) -> Response:
+        self.metrics.count_request("query")
+        if request.method == "POST":
+            payload = _json_payload(request)
+            text = payload.get("query")
+            limit = payload.get("limit")
+            if limit is not None and not isinstance(limit, int):
+                raise HTTPError(400, "limit must be an integer")
+            if "epoch" in payload and payload["epoch"] is not None:
+                request.query["epoch"] = str(payload["epoch"])
+        else:
+            text = request.query.get("q") or request.query.get("query")
+            limit = request.int_param("limit")
+        if not text or not isinstance(text, str):
+            raise HTTPError(
+                400, "missing BGP: pass ?q=… or a JSON body with 'query'"
+            )
+        if limit is None:
+            limit = self.default_limit
+        snapshot = self._pin_epoch(request)
+        started = time.monotonic()
+
+        def run() -> List[dict]:
+            return snapshot.solutions(text)
+
+        loop = asyncio.get_running_loop()
+        try:
+            solutions = await loop.run_in_executor(self._read_pool, run)
+        except BGPSyntaxError as error:
+            raise HTTPError(400, f"bad BGP: {error}")
+        self.metrics.read_latency.observe(time.monotonic() - started)
+        n_total = len(solutions)
+        if limit >= 0:
+            solutions = solutions[:limit]
+        payload = {
+            "epoch": snapshot.epoch,
+            "n": n_total,
+            "returned": len(solutions),
+            "solutions": [
+                {name: term.n3() for name, term in solution.items()}
+                for solution in solutions
+            ],
+        }
+        return 200, json_body(payload), "application/json", {}
+
+    async def _handle_health(self, request: Request) -> Response:
+        self.metrics.count_request("health")
+        payload = {
+            "status": "draining" if self._stopping else "ok",
+            "epoch": self.epoch,
+            "n_triples": self._current.n_triples,
+            "queue_depth": self.queue.depth,
+        }
+        return 200, json_body(payload), "application/json", {}
+
+    async def _handle_stats(self, request: Request) -> Response:
+        self.metrics.count_request("stats")
+        engine = self._store.engine
+        reads = self.metrics.read_latency
+        payload = {
+            "epoch": self.epoch,
+            "n_triples": self._current.n_triples,
+            "ruleset": self._current.ruleset_name,
+            "backend": engine.kernels.name,
+            "workers": engine.workers,
+            "parallel_mode": engine.parallel_mode,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "retained_epochs": list(self._epochs),
+            "queue": {
+                "depth": self.queue.depth,
+                "capacity": self.queue.max_depth,
+                "enqueued_total": self.queue.total_enqueued,
+                "rejected_total": self.queue.total_rejected,
+                "closed": self.queue.closed,
+            },
+            "flush": dict(
+                self.metrics.flush_summary(),
+                last_error=self._last_flush_error,
+            ),
+            "reads": {
+                "count": reads.count,
+                "p50_seconds": reads.percentile(0.5),
+                "p99_seconds": reads.percentile(0.99),
+            },
+        }
+        return 200, json_body(payload), "application/json", {}
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        self.metrics.count_request("metrics")
+        now = time.monotonic()
+        oldest = self.queue.oldest_enqueued_at()
+        gauges = {
+            "epoch": self.epoch,
+            "triples": self._current.n_triples,
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.max_depth,
+            "retained_epochs": len(self._epochs),
+            "snapshot_age_seconds": now - self._epoch_published_at,
+            "staleness_seconds": (now - oldest) if oldest else 0.0,
+            "draining": self.queue.closed,
+            "uptime_seconds": now - self._started_at,
+        }
+        text = self.metrics.render(gauges)
+        return (
+            200,
+            text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+            {},
+        )
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    async def _handle_add(self, request: Request) -> Response:
+        self.metrics.count_request("add")
+        return await self._enqueue(request, "add")
+
+    async def _handle_remove(self, request: Request) -> Response:
+        self.metrics.count_request("remove")
+        return await self._enqueue(request, "remove")
+
+    async def _enqueue(self, request: Request, kind: str) -> Response:
+        triples = _parse_triples(request)
+        wait = request.flag("wait")
+        future = (
+            asyncio.get_running_loop().create_future() if wait else None
+        )
+        mutation = Mutation(kind=kind, triples=triples, future=future)
+        try:
+            self.queue.try_put(mutation)
+        except QueueFull:
+            raise HTTPError(
+                429,
+                f"mutation queue full ({self.queue.max_depth} batches "
+                "pending); retry later",
+                headers={"Retry-After": str(self._retry_after())},
+            )
+        except QueueClosed:
+            raise HTTPError(503, "server is draining; write rejected")
+        if future is None:
+            payload = {"queued": len(triples), "epoch": self.epoch}
+            return 202, json_body(payload), "application/json", {}
+        try:
+            epoch = await future
+        except FlushFailed as error:
+            raise HTTPError(
+                503,
+                f"flush failed ({error}); the write is queued and will "
+                "be retried",
+            )
+        payload = {"flushed": len(triples), "epoch": epoch}
+        return 200, json_body(payload), "application/json", {}
+
+    def _retry_after(self) -> int:
+        """Seconds a 429'd client should back off: roughly one flush."""
+        p50 = self.metrics.flush_latency.percentile(0.5) or 0.0
+        return max(1, int(p50 + 0.999))
+
+
+# ----------------------------------------------------------------------
+# Request-body helpers
+# ----------------------------------------------------------------------
+def _json_payload(request: Request) -> dict:
+    try:
+        payload = json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise HTTPError(400, f"bad JSON body: {error}")
+    if not isinstance(payload, dict):
+        raise HTTPError(400, "JSON body must be an object")
+    return payload
+
+
+def _parse_triples(request: Request):
+    try:
+        text = request.body.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise HTTPError(400, f"body is not UTF-8: {error}")
+    try:
+        triples = list(parse(text))
+    except NTriplesError as error:
+        raise HTTPError(400, f"bad N-Triples body: {error}")
+    if not triples:
+        raise HTTPError(400, "empty mutation: body held no triples")
+    return triples

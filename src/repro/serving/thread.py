@@ -1,0 +1,87 @@
+"""Run a :class:`ReasoningServer` on a dedicated event-loop thread.
+
+Benchmarks, tests and examples are synchronous programs; this wrapper
+gives them a real server (real sockets, real back-pressure) without
+owning an event loop:
+
+    with ServerThread(store, port=0) as handle:
+        host, port = handle.address
+        ... hammer it with http.client ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from ..core.store_api import Store
+from .server import ReasoningServer
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """Own a server and its event loop on a daemon thread."""
+
+    def __init__(self, store: Store, **server_options):
+        self._store = store
+        self._options = server_options
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[ReasoningServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 60.0) -> "ServerThread":
+        """Start the loop thread; blocks until the server is listening."""
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("server did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surface startup crashes
+            if not self._ready.is_set():
+                self._startup_error = error
+                self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = ReasoningServer(self._store, **self._options)
+        try:
+            await server.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self.server = server
+        self.address = server.address
+        self._ready.set()
+        await server.wait_closed()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful shutdown (drains the queue), then join the thread."""
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

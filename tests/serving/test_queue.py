@@ -1,0 +1,112 @@
+"""MutationQueue: bounded depth, drain-everything batching, close."""
+
+import asyncio
+
+import pytest
+
+from repro.rdf import RDF, Triple, iri
+from repro.serving import Mutation, MutationQueue, QueueClosed, QueueFull
+
+
+def _mutation(kind="add", n=1):
+    triples = [
+        Triple(iri(f"ex:s{i}"), RDF.type, iri("ex:T")) for i in range(n)
+    ]
+    return Mutation(kind=kind, triples=triples)
+
+
+def test_put_and_drain_preserves_order():
+    async def run():
+        queue = MutationQueue(max_depth=8)
+        first = _mutation("add")
+        second = _mutation("remove")
+        queue.try_put(first)
+        queue.try_put(second)
+        assert queue.depth == 2
+        batch = queue.drain()
+        assert batch == [first, second]
+        assert queue.depth == 0
+
+    asyncio.run(run())
+
+
+def test_bounded_depth_rejects_and_counts():
+    async def run():
+        queue = MutationQueue(max_depth=2)
+        queue.try_put(_mutation())
+        queue.try_put(_mutation())
+        with pytest.raises(QueueFull):
+            queue.try_put(_mutation())
+        assert queue.total_rejected == 1
+        assert queue.total_enqueued == 2
+        # Draining frees capacity again.
+        queue.drain()
+        queue.try_put(_mutation())
+        assert queue.depth == 1
+
+    asyncio.run(run())
+
+
+def test_get_batch_waits_then_drains_everything():
+    async def run():
+        queue = MutationQueue(max_depth=8)
+
+        async def producer():
+            await asyncio.sleep(0.01)
+            queue.try_put(_mutation("add"))
+            queue.try_put(_mutation("add"))
+            queue.try_put(_mutation("remove"))
+
+        task = asyncio.ensure_future(producer())
+        batch = await queue.get_batch()
+        await task
+        # All three coalesce into the one batch the consumer sees
+        # (the producer enqueued them before the waiter woke).
+        assert len(batch) >= 1
+        batch += queue.drain()
+        assert len(batch) == 3
+
+    asyncio.run(run())
+
+
+def test_close_rejects_writes_and_wakes_consumer():
+    async def run():
+        queue = MutationQueue(max_depth=8)
+        queue.try_put(_mutation())
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.try_put(_mutation())
+        # The queued item still drains; the next get_batch signals end.
+        assert len(await queue.get_batch()) == 1
+        assert await queue.get_batch() == []
+
+    asyncio.run(run())
+
+
+def test_oldest_enqueued_at_tracks_staleness():
+    async def run():
+        queue = MutationQueue(max_depth=8)
+        assert queue.oldest_enqueued_at() is None
+        first = _mutation()
+        queue.try_put(first)
+        queue.try_put(_mutation())
+        assert queue.oldest_enqueued_at() == first.enqueued_at
+        queue.drain()
+        assert queue.oldest_enqueued_at() is None
+
+    asyncio.run(run())
+
+
+def test_triple_counting():
+    async def run():
+        queue = MutationQueue(max_depth=8)
+        queue.try_put(_mutation(n=3))
+        queue.try_put(_mutation(n=2))
+        assert queue.total_triples == 5
+
+    asyncio.run(run())
+
+
+def test_max_depth_validation():
+    with pytest.raises(ValueError):
+        MutationQueue(max_depth=0)

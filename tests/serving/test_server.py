@@ -1,0 +1,369 @@
+"""End-to-end reasoning-server tests over real sockets.
+
+Each test boots a :class:`ServerThread` on an ephemeral port and talks
+real HTTP/1.1 through ``http.client`` — the same path ``curl`` and the
+bench load generator use.
+"""
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+
+import pytest
+
+from repro import MaterializationTimeout, Store
+from repro.rdf import RDF, RDFS, Triple, iri
+from repro.serving import ServerThread
+
+EX = "http://example.org/"
+MAMMAL_Q = urllib.parse.quote(f"?who a <{EX}mammal>")
+
+
+def ex(name):
+    return iri(EX + name)
+
+
+def base_triples():
+    return [
+        Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+        Triple(ex("dog"), RDFS.subClassOf, ex("mammal")),
+        Triple(ex("Bart"), RDF.type, ex("human")),
+    ]
+
+
+def nt(subject, type_name="human"):
+    return f"<{EX}{subject}> <{RDF.type.value}> <{EX}{type_name}> .\n"
+
+
+class Client:
+    """A tiny keep-alive JSON client over http.client."""
+
+    def __init__(self, address):
+        host, port = address
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def request(self, method, path, body=None):
+        self.conn.request(method, path, body=body)
+        response = self.conn.getresponse()
+        raw = response.read()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        payload = None
+        if headers.get("content-type", "").startswith("application/json"):
+            payload = json.loads(raw)
+        return response.status, headers, payload if payload is not None else raw
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture()
+def served():
+    store = Store(base_triples())
+    with ServerThread(store, port=0, retained_epochs=4) as handle:
+        client = Client(handle.address)
+        yield store, handle, client
+        client.close()
+
+
+def _mammals(client, epoch=None):
+    path = f"/query?q={MAMMAL_Q}"
+    if epoch is not None:
+        path += f"&epoch={epoch}"
+    status, _, payload = client.request("GET", path)
+    return status, payload
+
+
+def test_health_stats_metrics(served):
+    _, _, client = served
+    status, _, payload = client.request("GET", "/health")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["epoch"] == 1
+    assert payload["n_triples"] > len(base_triples())  # inference ran
+
+    status, _, payload = client.request("GET", "/stats")
+    assert status == 200
+    assert payload["ruleset"] == "rdfs-default"
+    assert payload["queue"]["capacity"] == 256
+    assert payload["flush"]["failures"] == 0
+
+    status, headers, body = client.request("GET", "/metrics")
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain")
+    text = body.decode("utf-8")
+    assert "repro_serving_epoch 1" in text
+    assert "repro_serving_staleness_seconds 0.0" in text
+
+
+def test_query_add_remove_round_trip(served):
+    _, _, client = served
+    status, payload = _mammals(client)
+    assert status == 200
+    assert payload["epoch"] == 1
+    assert payload["n"] == 1
+
+    status, _, payload = client.request("POST", "/add?wait=1", nt("Lisa"))
+    assert status == 200
+    assert payload == {"flushed": 1, "epoch": 2}
+
+    status, payload = _mammals(client)
+    assert payload["epoch"] == 2
+    assert {s["who"] for s in payload["solutions"]} == {
+        f"<{EX}Bart>",
+        f"<{EX}Lisa>",
+    }
+
+    status, _, payload = client.request(
+        "POST", "/remove?wait=1", nt("Lisa")
+    )
+    assert status == 200
+    assert payload["epoch"] == 3
+    status, payload = _mammals(client)
+    assert payload["n"] == 1
+
+
+def test_post_query_with_limit(served):
+    _, _, client = served
+    client.request("POST", "/add?wait=1", nt("Lisa") + nt("Maggie"))
+    body = json.dumps({"query": f"?who a <{EX}mammal>", "limit": 1})
+    status, _, payload = client.request("POST", "/query", body)
+    assert status == 200
+    assert payload["n"] == 3
+    assert payload["returned"] == 1
+
+
+def test_reader_pinned_to_an_epoch_never_sees_newer_writes(served):
+    _, _, client = served
+    pinned = 1
+    status, before = _mammals(client, epoch=pinned)
+    assert status == 200
+    for name in ("Lisa", "Maggie", "Rex"):
+        client.request("POST", "/add?wait=1", nt(name))
+    # The live closure moved on...
+    _, now = _mammals(client)
+    assert now["epoch"] == 4
+    assert now["n"] == 4
+    # ...but the pinned epoch still answers exactly the old closure.
+    status, again = _mammals(client, epoch=pinned)
+    assert status == 200
+    assert again == before
+    assert again["epoch"] == pinned
+    assert again["n"] == 1
+
+
+def test_evicted_epoch_answers_410(served):
+    _, _, client = served
+    # retained_epochs=4: epochs 1..5 exist after four writes, 1 evicted.
+    for index in range(4):
+        client.request("POST", "/add?wait=1", nt(f"extra{index}"))
+    status, _, payload = client.request("GET", f"/query?q={MAMMAL_Q}&epoch=1")
+    assert status == 410
+    assert "no longer retained" in payload["error"]
+    status, _, _ = client.request("GET", f"/query?q={MAMMAL_Q}&epoch=5")
+    assert status == 200
+
+
+def test_async_write_is_accepted_then_lands(served):
+    _, _, client = served
+    status, _, payload = client.request("POST", "/add", nt("Lisa"))
+    assert status == 202
+    assert payload["queued"] == 1
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        _, payload = _mammals(client)
+        if payload["n"] == 2:
+            break
+        time.sleep(0.01)
+    assert payload["n"] == 2
+
+
+def test_write_bursts_coalesce_into_fewer_flushes(served):
+    store, handle, client = served
+    block = threading.Event()
+    original = store.materialize
+
+    def gated():
+        block.wait(30)
+        return original()
+
+    store.materialize = gated
+    try:
+        for index in range(6):
+            status, _, _ = client.request("POST", "/add", nt(f"bulk{index}"))
+            assert status == 202
+    finally:
+        block.set()
+        store.materialize = original
+    client.request("POST", "/add?wait=1", nt("final"))
+    _, _, stats = client.request("GET", "/stats")
+    # 7 mutations landed in at most 3 flushes (first drain + coalesced
+    # remainder + the waited write) — not one flush per request.
+    assert stats["flush"]["coalesced_mutations"] == 7
+    assert 1 <= stats["flush"]["flushes"] <= 3
+    _, payload = _mammals(client)
+    assert payload["n"] == 8
+
+
+def test_backpressure_returns_429_with_retry_after():
+    store = Store(base_triples())
+    with ServerThread(store, port=0, queue_depth=2) as handle:
+        client = Client(handle.address)
+        block = threading.Event()
+        original = store.materialize
+
+        def gated():
+            block.wait(30)
+            return original()
+
+        store.materialize = gated
+        try:
+            statuses = []
+            for index in range(5):
+                status, headers, _ = client.request(
+                    "POST", "/add", nt(f"burst{index}")
+                )
+                statuses.append((status, headers))
+        finally:
+            block.set()
+            store.materialize = original
+        rejected = [(s, h) for s, h in statuses if s == 429]
+        accepted = [s for s, _ in statuses if s == 202]
+        assert rejected, statuses
+        assert accepted, statuses
+        assert all(int(h["retry-after"]) >= 1 for _, h in rejected)
+        # Everything accepted still lands.
+        client.request("POST", "/add?wait=1", nt("final"))
+        _, _, payload = client.request("GET", f"/query?q={MAMMAL_Q}")
+        assert payload["n"] == 1 + len(accepted) + 1
+        _, _, metrics = client.request("GET", "/stats")
+        assert metrics["queue"]["rejected_total"] == len(rejected)
+        client.close()
+
+
+def test_failed_flush_keeps_the_write_and_retries():
+    store = Store(base_triples())
+    with ServerThread(store, port=0, flush_retry_seconds=0.05) as handle:
+        client = Client(handle.address)
+        original = store.materialize
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise MaterializationTimeout("injected flush failure")
+            return original()
+
+        store.materialize = flaky
+        try:
+            status, _, payload = client.request(
+                "POST", "/add?wait=1", nt("Lisa")
+            )
+            # The waited write reports the failure honestly...
+            assert status == 503
+            assert "queued" in payload["error"]
+            # ...but the write was never lost: the writer retries and
+            # the triple lands.
+            deadline = time.time() + 30
+            payload = None
+            while time.time() < deadline:
+                _, payload = _mammals(client)
+                if payload["n"] == 2:
+                    break
+                time.sleep(0.02)
+            assert payload["n"] == 2
+        finally:
+            store.materialize = original
+        _, _, stats = client.request("GET", "/stats")
+        assert stats["flush"]["failures"] == 1
+        assert "injected" in stats["flush"]["last_error"]
+        client.close()
+
+
+def test_graceful_shutdown_drains_queued_writes():
+    store = Store(base_triples())
+    handle = ServerThread(store, port=0).start()
+    client = Client(handle.address)
+    for index in range(5):
+        status, _, _ = client.request("POST", "/add", nt(f"drain{index}"))
+        assert status == 202
+    client.close()
+    handle.stop()
+    # Every accepted write survived the shutdown flush.
+    assert not store.stale
+    for index in range(5):
+        assert Triple(ex(f"drain{index}"), RDF.type, ex("mammal")) in store
+
+
+def test_error_shapes(served):
+    _, _, client = served
+    status, _, payload = client.request("GET", "/nope")
+    assert status == 404
+    status, headers, _ = client.request("GET", "/add")
+    assert status == 405
+    assert "POST" in headers["allow"]
+    status, _, payload = client.request("GET", "/query")
+    assert status == 400
+    assert "missing BGP" in payload["error"]
+    status, _, payload = client.request("GET", "/query?q=%3Fx%20oops")
+    assert status == 400
+    assert "bad BGP" in payload["error"]
+    status, _, payload = client.request("POST", "/add", "not ntriples")
+    assert status == 400
+    assert "bad N-Triples" in payload["error"]
+    status, _, payload = client.request("POST", "/add", "")
+    assert status == 400
+    status, _, payload = client.request(
+        "GET", f"/query?q={MAMMAL_Q}&epoch=abc"
+    )
+    assert status == 400
+    status, _, payload = client.request("POST", "/query", "{broken")
+    assert status == 400
+
+
+def test_concurrent_readers_and_writers_stay_consistent(served):
+    """Interleaved readers and writers: every response is internally
+    consistent (epoch N always answers with epoch N's closure)."""
+    _, handle, client = served
+    counts_by_epoch = {}
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        local = Client(handle.address)
+        try:
+            while not stop.is_set():
+                status, payload = _mammals(local)
+                if status != 200:
+                    errors.append(("status", status))
+                    return
+                seen = counts_by_epoch.setdefault(
+                    payload["epoch"], payload["n"]
+                )
+                if seen != payload["n"]:
+                    errors.append(("epoch tear", payload))
+                    return
+        finally:
+            local.close()
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        writer = Client(handle.address)
+        for index in range(10):
+            status, _, _ = writer.request(
+                "POST", "/add?wait=1", nt(f"load{index}")
+            )
+            assert status == 200
+        writer.close()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(30)
+    assert not errors, errors[:3]
+    # Monotone workload: later epochs can only know more mammals.
+    epochs = sorted(counts_by_epoch)
+    counts = [counts_by_epoch[e] for e in epochs]
+    assert counts == sorted(counts)
