@@ -74,6 +74,7 @@ class Request:
     query: Dict[str, str] = field(default_factory=dict)
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     def flag(self, name: str) -> bool:
         """A boolean query parameter (``?wait=1`` style)."""
@@ -92,7 +93,11 @@ class Request:
 
     @property
     def keep_alive(self) -> bool:
-        return self.headers.get("connection", "").lower() != "close"
+        token = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            # HTTP/1.0 defaults to close; persistence is opt-in.
+            return token == "keep-alive"
+        return token != "close"
 
 
 async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
@@ -149,6 +154,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
         query=query,
         headers=headers,
         body=body,
+        version=version.upper(),
     )
 
 

@@ -37,7 +37,7 @@ import json
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.store_api import Snapshot, Store
 from ..query.bgp import BGPSyntaxError
@@ -108,6 +108,11 @@ class ReasoningServer:
         self._epoch_published_at = time.monotonic()
         self._started_at = time.monotonic()
         self._last_flush_error: Optional[str] = None
+        #: Enqueue time of the oldest mutation drained from the queue
+        #: but not yet durably flushed; feeds the staleness gauge so a
+        #: failing flush can't make drained-but-unapplied writes read
+        #: as zero staleness.
+        self._oldest_unflushed: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._writer_task: Optional[asyncio.Task] = None
         self._connections: set = set()
@@ -167,8 +172,12 @@ class ReasoningServer:
             return
         self._stopping = True
         if self._server is not None:
+            # Stop accepting, but do NOT await wait_closed() yet: on
+            # Python >= 3.12.1 it blocks until every connection handler
+            # returns, and an idle keep-alive client parked in
+            # read_request() never would — the queue must drain and the
+            # connections must be cancelled first.
             self._server.close()
-            await self._server.wait_closed()
         self.queue.close()
         if self._writer_task is not None:
             await self._writer_task
@@ -180,6 +189,9 @@ class ReasoningServer:
                 task.cancel()
             if pending:
                 await asyncio.wait(list(pending), timeout=1.0)
+        if self._server is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
         self._flush_pool.shutdown(wait=True)
         self._read_pool.shutdown(wait=True)
         self._closed.set()
@@ -187,11 +199,27 @@ class ReasoningServer:
     # ------------------------------------------------------------------
     # The single writer
     # ------------------------------------------------------------------
-    def _flush_sync(self):
-        """Flush + snapshot, on the dedicated flush thread."""
+    def _flush_sync(self, batch: Sequence[Mutation] = ()):
+        """Apply a drained batch, then flush — on the flush thread.
+
+        Applying the mutations here rather than on the event loop
+        matters for removes: ``Store.remove`` probes the engine's
+        asserted set (O(n_asserted) per call), which would stall every
+        in-flight read and health check if it ran on the loop.
+
+        Returns ``(snapshot, stats)``; ``snapshot`` is ``None`` when
+        the batch left nothing to flush (e.g. removes of triples that
+        were never asserted).
+        """
+        for mutation in batch:
+            if mutation.kind == "add":
+                self._store.add(list(mutation.triples))
+            else:
+                self._store.remove(list(mutation.triples))
+        if batch and not self._store.stale:
+            return None, None
         stats = self._store.materialize()
-        snapshot = self._store.snapshot()
-        return snapshot, stats
+        return self._store.snapshot(), stats
 
     async def _writer_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -206,34 +234,33 @@ class ReasoningServer:
                     break  # closed and empty, nothing stale
             n_triples = 0
             for mutation in batch:
-                if mutation.kind == "add":
-                    self._store.add(list(mutation.triples))
-                else:
-                    self._store.remove(list(mutation.triples))
                 n_triples += len(mutation.triples)
                 if mutation.future is not None:
                     waiters.append(mutation.future)
-            if self._store.stale:
-                started = time.monotonic()
-                try:
-                    snapshot, _ = await loop.run_in_executor(
-                        self._flush_pool, self._flush_sync
-                    )
-                except Exception as error:
-                    consecutive_failures += 1
-                    self.metrics.flush_failures_total += 1
-                    detail = f"{type(error).__name__}: {error}"
-                    self._last_flush_error = detail
-                    self._fail_waiters(waiters, detail)
-                    waiters = []
-                    if (
-                        self.queue.closed
-                        and consecutive_failures >= self._max_drain_failures
-                    ):
-                        break  # shutting down and the flush won't land
-                    await asyncio.sleep(self._flush_retry_seconds)
-                    continue
-                consecutive_failures = 0
+            if batch and self._oldest_unflushed is None:
+                self._oldest_unflushed = batch[0].enqueued_at
+            started = time.monotonic()
+            try:
+                snapshot, _ = await loop.run_in_executor(
+                    self._flush_pool, self._flush_sync, batch
+                )
+            except Exception as error:
+                consecutive_failures += 1
+                self.metrics.flush_failures_total += 1
+                detail = f"{type(error).__name__}: {error}"
+                self._last_flush_error = detail
+                self._fail_waiters(waiters, detail)
+                waiters = []
+                if (
+                    self.queue.closed
+                    and consecutive_failures >= self._max_drain_failures
+                ):
+                    break  # shutting down and the flush won't land
+                await asyncio.sleep(self._flush_retry_seconds)
+                continue
+            consecutive_failures = 0
+            self._oldest_unflushed = None
+            if snapshot is not None:
                 self._publish(
                     snapshot,
                     latency=time.monotonic() - started,
@@ -477,7 +504,12 @@ class ReasoningServer:
     async def _handle_metrics(self, request: Request) -> Response:
         self.metrics.count_request("metrics")
         now = time.monotonic()
-        oldest = self.queue.oldest_enqueued_at()
+        pending = [
+            t
+            for t in (self.queue.oldest_enqueued_at(), self._oldest_unflushed)
+            if t is not None
+        ]
+        oldest = min(pending) if pending else None
         gauges = {
             "epoch": self.epoch,
             "triples": self._current.n_triples,

@@ -7,6 +7,7 @@ bench load generator use.
 
 import http.client
 import json
+import socket
 import threading
 import time
 import urllib.parse
@@ -278,6 +279,137 @@ def test_failed_flush_keeps_the_write_and_retries():
         _, _, stats = client.request("GET", "/stats")
         assert stats["flush"]["failures"] == 1
         assert "injected" in stats["flush"]["last_error"]
+        client.close()
+
+
+def test_graceful_shutdown_completes_with_idle_keepalive_client():
+    """An idle keep-alive connection must not deadlock stop().
+
+    Regression: stop() used to await Server.wait_closed() before
+    cancelling connection tasks; on Python >= 3.12.1 wait_closed()
+    blocks until every handler returns, and a client parked between
+    requests never returns — shutdown hung and the queue never drained.
+    """
+    store = Store(base_triples())
+    handle = ServerThread(store, port=0).start()
+    idle = Client(handle.address)
+    status, _, _ = idle.request("GET", "/health")
+    assert status == 200
+    # Queue a write, then stop while the connection sits idle.
+    status, _, _ = idle.request("POST", "/add", nt("Lisa"))
+    assert status == 202
+    handle.stop(timeout=30)
+    assert not handle._thread.is_alive()
+    assert not store.stale  # the queued write still drained
+    assert Triple(ex("Lisa"), RDF.type, ex("mammal")) in store
+    idle.close()
+
+
+def test_http10_defaults_to_connection_close():
+    store = Store(base_triples())
+    with ServerThread(store, port=0) as handle:
+        host, port = handle.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.settimeout(10)
+            sock.sendall(b"GET /health HTTP/1.0\r\nHost: x\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break  # server closed, as HTTP/1.0 requires
+                data += chunk
+        head = data.split(b"\r\n\r\n", 1)[0].decode("latin-1").lower()
+        assert "connection: close" in head
+        # Opting in with Connection: keep-alive keeps the socket open.
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.settimeout(10)
+            request = (
+                b"GET /health HTTP/1.0\r\nHost: x\r\n"
+                b"Connection: keep-alive\r\n\r\n"
+            )
+            for _ in range(2):
+                sock.sendall(request)
+                head = b""
+                while b"\r\n\r\n" not in head:
+                    head += sock.recv(4096)
+                header_block, _, rest = head.partition(b"\r\n\r\n")
+                lower = header_block.decode("latin-1").lower()
+                assert "connection: keep-alive" in lower
+                length = int(
+                    [
+                        line.split(":", 1)[1]
+                        for line in lower.split("\r\n")
+                        if line.startswith("content-length:")
+                    ][0]
+                )
+                while len(rest) < length:
+                    rest += sock.recv(4096)
+
+
+def _parse_gauges(text):
+    gauges = {}
+    for line in text.splitlines():
+        name, _, value = line.partition(" ")
+        if "{" not in name:
+            try:
+                gauges[name] = float(value)
+            except ValueError:
+                pass
+    return gauges
+
+
+def test_staleness_gauge_covers_drained_but_unflushed_writes():
+    """A failing flush must not zero the staleness gauge.
+
+    Regression: staleness was computed only from mutations still in
+    the queue, so once the writer drained a batch whose flush then
+    failed, the gauge read 0.0 exactly when writes were sitting
+    unapplied.
+    """
+    store = Store(base_triples())
+    with ServerThread(store, port=0, flush_retry_seconds=0.05) as handle:
+        client = Client(handle.address)
+        original = store.materialize
+        failing = threading.Event()
+
+        def flaky():
+            if failing.is_set():
+                raise MaterializationTimeout("injected flush failure")
+            return original()
+
+        store.materialize = flaky
+        failing.set()
+        try:
+            status, _, _ = client.request("POST", "/add", nt("Lisa"))
+            assert status == 202
+            deadline = time.time() + 30
+            staleness = 0.0
+            while time.time() < deadline:
+                _, _, body = client.request("GET", "/metrics")
+                gauges = _parse_gauges(body.decode("utf-8"))
+                if (
+                    gauges.get("repro_serving_flush_failures_total", 0) >= 1
+                    and gauges.get("repro_serving_queue_depth") == 0
+                ):
+                    staleness = gauges["repro_serving_staleness_seconds"]
+                    break
+                time.sleep(0.02)
+            assert staleness > 0.0
+            failing.clear()
+            # Once the retry lands, the gauge returns to zero.
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                _, payload = _mammals(client)
+                if payload["n"] == 2:
+                    break
+                time.sleep(0.02)
+            assert payload["n"] == 2
+            _, _, body = client.request("GET", "/metrics")
+            gauges = _parse_gauges(body.decode("utf-8"))
+            assert gauges["repro_serving_staleness_seconds"] == 0.0
+        finally:
+            failing.clear()
+            store.materialize = original
         client.close()
 
 
