@@ -8,11 +8,22 @@ misses, RDFox sits between and degrades with size.
 Reproduction via :mod:`repro.memsim`: each engine runs instrumented
 with a RecordingTracer; the trace replays through the simulated
 Xeon-E3-like hierarchy (32K L1d / 8M LLC / 64-entry TLB / 4K pages).
-Chains are scaled to 100/200/400 nodes.
+Chains are scaled to 100/200/400 nodes.  Each cell also reports the
+resident closure's **bytes per entailed triple**.
 
-Run:     python benchmarks/bench_fig7_memory_closure.py
+The report additionally carries a full-vs-hybrid resident-closure
+comparison over a hierarchy-heavy dataset: ``materialize="hybrid"``
+(:mod:`repro.litemat`) absorbs the hierarchy rules into the interval
+encoding, so it must answer the same closure from fewer stored triples,
+fewer resident bytes per entailed triple and a faster flush.
+
+Run:     python benchmarks/bench_fig7_memory_closure.py [--smoke] [--json OUT]
 Pytest:  pytest benchmarks/bench_fig7_memory_closure.py --benchmark-only
 """
+
+import argparse
+import json
+import time
 
 import pytest
 
@@ -21,9 +32,11 @@ from repro.baselines.rete import ReteEngine
 from repro.bench.figures import counters_to_bars, render_bars
 from repro.bench.harness import format_table
 from repro.core.engine import InferrayEngine
-from repro.datasets.chains import subclass_chain
+from repro.datasets.chains import subclass_chain, subclass_tree, subproperty_chain
 from repro.memsim.hierarchy import replay_trace
 from repro.memsim.tracer import RecordingTracer
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import RDF, RDFS
 
 LENGTHS = [50, 100, 200]
 
@@ -40,18 +53,25 @@ MAX_LENGTH = {"inferray": 10_000, "hashjoin": 1_000, "rete": 100}
 
 
 def measure_counters(engine_name, data, ruleset="rho-df"):
-    """(per-triple counter dict, inferred count) for one engine run."""
+    """(per-triple counters, inferred count, bytes/triple) for one run.
+
+    ``bytes_per_triple`` is the resident closure (pair arrays + caches)
+    divided by the total entailed triples — None for baselines that do
+    not expose their resident size.
+    """
     tracer = RecordingTracer()
     factory = ENGINES[engine_name]
     engine = factory(ruleset, tracer=tracer)
     engine.load_triples(data)
     engine.materialize()
-    if engine_name == "inferray":
-        inferred = engine.stats.n_inferred
-    else:
-        inferred = engine.stats.n_inferred
+    inferred = engine.stats.n_inferred
     counters = replay_trace(tracer.ops)
-    return counters.per_triple(inferred), inferred
+    memory_of = getattr(engine, "memory_bytes", None)
+    n_total = engine.stats.n_total
+    bytes_per_triple = (
+        memory_of() / n_total if memory_of is not None and n_total else None
+    )
+    return counters.per_triple(inferred), inferred, bytes_per_triple
 
 
 def run_figure(lengths=None):
@@ -60,15 +80,129 @@ def run_figure(lengths=None):
         data = subclass_chain(length)
         for engine_name in ENGINES:
             if length > MAX_LENGTH[engine_name]:
-                rows.append((length, engine_name, None, None))
+                rows.append((length, engine_name, None, None, None))
                 continue
-            per_triple, inferred = measure_counters(engine_name, data)
-            rows.append((length, engine_name, inferred, per_triple))
+            per_triple, inferred, bytes_per_triple = measure_counters(
+                engine_name, data
+            )
+            rows.append(
+                (length, engine_name, inferred, per_triple, bytes_per_triple)
+            )
     return rows
 
 
-def main():
-    rows = run_figure()
+# ----------------------------------------------------------------------
+# Full-vs-hybrid resident-closure comparison
+# ----------------------------------------------------------------------
+def hierarchy_dataset(depth=8, instances_per_leaf=2, prop_nodes=16, facts=40):
+    """A hierarchy-heavy workload: a complete binary class tree with
+    typed instances at the leaves, plus a subPropertyOf chain carrying
+    data facts and a domain on its top property.
+
+    Full mode materializes the quadratic tree/chain closures, each
+    instance's ancestor types and each fact's super-property copies;
+    hybrid mode stores none of that.
+    """
+    data = list(subclass_tree(depth))
+    n_nodes = sum(2**level for level in range(depth + 1))
+    first_leaf = n_nodes - 2**depth
+    instance = 0
+    for leaf in range(first_leaf, n_nodes):
+        for _ in range(instances_per_leaf):
+            data.append(
+                Triple(
+                    IRI(f"http://example.org/inst/i{instance}"),
+                    RDF.type,
+                    IRI(f"http://example.org/tree/n{leaf}"),
+                )
+            )
+            instance += 1
+    data.extend(subproperty_chain(prop_nodes))
+    bottom = IRI("http://example.org/pchain/n0")
+    top = IRI(f"http://example.org/pchain/n{prop_nodes - 1}")
+    data.append(Triple(top, RDFS.domain, IRI("http://example.org/tree/n0")))
+    for i in range(facts):
+        data.append(
+            Triple(
+                IRI(f"http://example.org/fact/s{i}"),
+                bottom,
+                IRI(f"http://example.org/fact/o{i}"),
+            )
+        )
+    return data
+
+
+def run_hybrid_comparison(*, smoke=False, ruleset="rdfs-default"):
+    """Flush the hierarchy dataset under both modes; compare residency.
+
+    Returns the ``"hybrid"`` report section: per-mode stored/entailed
+    counts, resident bytes, bytes per entailed triple and flush wall
+    time, plus the hybrid/full ratios and an answer-equality check over
+    the complete entailed closure.
+    """
+    depth = 5 if smoke else 8
+    data = hierarchy_dataset(depth=depth)
+    modes = {}
+    answers = {}
+    for mode in ("full", "hybrid"):
+        engine = InferrayEngine(ruleset, materialize_mode=mode)
+        engine.load_triples(data)
+        started = time.perf_counter()
+        stats = engine.materialize()
+        flush_seconds = time.perf_counter() - started
+        view = engine.read_view
+        entailed = view.n_triples
+        memory = engine.memory_bytes()
+        answers[mode] = sorted(view.triples())
+        modes[mode] = {
+            "stored_triples": engine.main.n_triples,
+            "entailed_triples": entailed,
+            "memory_bytes": memory,
+            "bytes_per_triple": memory / entailed if entailed else None,
+            "flush_seconds": flush_seconds,
+            "iterations": stats.iterations,
+            "absorbed_rules": len(stats.absorbed_rules),
+        }
+    full, hybrid = modes["full"], modes["hybrid"]
+    return {
+        "dataset": {
+            "name": "class-tree+prop-chain",
+            "tree_depth": depth,
+            "n_asserted": len(data),
+            "ruleset": ruleset,
+        },
+        "modes": modes,
+        "answers_match": answers["full"] == answers["hybrid"],
+        "comparison": {
+            "stored_triples_ratio": (
+                hybrid["stored_triples"] / full["stored_triples"]
+            ),
+            "bytes_per_triple_ratio": (
+                hybrid["bytes_per_triple"] / full["bytes_per_triple"]
+            ),
+            "flush_speedup": (
+                full["flush_seconds"] / hybrid["flush_seconds"]
+                if hybrid["flush_seconds"]
+                else None
+            ),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes for CI (shorter chains, shallower tree)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    lengths = LENGTHS[:1] if args.smoke else LENGTHS
+    rows = run_figure(lengths)
     headers = [
         "chain / engine",
         "inferred",
@@ -76,11 +210,14 @@ def main():
         "dTLB miss/t",
         "pagefault/t",
         "L1d rate",
+        "bytes/t",
     ]
     table = []
-    for length, engine_name, inferred, per in rows:
+    for length, engine_name, inferred, per, bytes_per_triple in rows:
         if per is None:
-            table.append([f"{length} {engine_name}", "–", "–", "–", "–", "–"])
+            table.append(
+                [f"{length} {engine_name}", "–", "–", "–", "–", "–", "–"]
+            )
             continue
         table.append(
             [
@@ -90,6 +227,9 @@ def main():
                 f"{per['tlb_misses_per_triple']:.3f}",
                 f"{per['page_faults_per_triple']:.4f}",
                 f"{per['l1_miss_rate']:.3f}",
+                f"{bytes_per_triple:.1f}"
+                if bytes_per_triple is not None
+                else "–",
             ]
         )
     print("Figure 7 — simulated memory counters per inferred triple")
@@ -99,7 +239,7 @@ def main():
     # Figure-style grouped bars for each panel.
     panel_rows = [
         (f"chain{length}", engine_name, per)
-        for length, engine_name, _, per in rows
+        for length, engine_name, _, per, _ in rows
     ]
     for metric, label in (
         ("cache_misses_per_triple", "Cache (LLC) misses / triple"),
@@ -113,18 +253,76 @@ def main():
         "\npage faults; RETE worst by orders of magnitude; hash in between."
     )
 
+    hybrid = run_hybrid_comparison(smoke=args.smoke)
+    full_row = hybrid["modes"]["full"]
+    hybrid_row = hybrid["modes"]["hybrid"]
+    print(
+        "\nFull vs hybrid resident closure "
+        f"({hybrid['dataset']['name']}, depth "
+        f"{hybrid['dataset']['tree_depth']}, "
+        f"{hybrid['dataset']['n_asserted']} asserted):"
+    )
+    print(
+        format_table(
+            ["mode", "stored", "entailed", "bytes/t", "flush ms", "absorbed"],
+            [
+                [
+                    mode,
+                    f"{row['stored_triples']:,}",
+                    f"{row['entailed_triples']:,}",
+                    f"{row['bytes_per_triple']:.1f}",
+                    f"{row['flush_seconds'] * 1000:.1f}",
+                    str(row["absorbed_rules"]),
+                ]
+                for mode, row in (("full", full_row), ("hybrid", hybrid_row))
+            ],
+        )
+    )
+    comparison = hybrid["comparison"]
+    print(
+        f"answers match: {hybrid['answers_match']}; hybrid stores "
+        f"{comparison['stored_triples_ratio']:.2f}x the triples at "
+        f"{comparison['bytes_per_triple_ratio']:.2f}x the bytes/triple, "
+        f"flushing {comparison['flush_speedup']:.2f}x faster"
+    )
+
+    if args.json:
+        report = {
+            "table": "hybrid-closure",
+            "smoke": args.smoke,
+            "memsim": [
+                {
+                    "chain": length,
+                    "engine": engine_name,
+                    "inferred": inferred,
+                    "counters": per,
+                    "bytes_per_triple": bytes_per_triple,
+                }
+                for length, engine_name, inferred, per, bytes_per_triple in rows
+                if per is not None
+            ],
+            "hybrid": hybrid,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+
 
 @pytest.mark.benchmark(group="fig7-memsim")
 def test_inferray_memsim_chain100(benchmark):
     data = subclass_chain(100)
-    per, _ = benchmark(lambda: measure_counters("inferray", data))
+    per, _, bytes_per_triple = benchmark(
+        lambda: measure_counters("inferray", data)
+    )
     assert per["tlb_misses_per_triple"] < 1.0
+    assert bytes_per_triple is not None and bytes_per_triple > 0
 
 
 @pytest.mark.benchmark(group="fig7-memsim")
 def test_hashjoin_memsim_chain100(benchmark):
     data = subclass_chain(100)
-    per, _ = benchmark(lambda: measure_counters("hashjoin", data))
+    per, _, _ = benchmark(lambda: measure_counters("hashjoin", data))
     assert per["tlb_misses_per_triple"] > 0.0
 
 

@@ -1,9 +1,10 @@
 """Schema check for the benchmark reports (CI smoke jobs).
 
 Dispatches on the report's ``table`` field — ``table2-rdfs``
-(BENCH_table2.json, inference times) or ``serving``
-(BENCH_serving.json, server latency/QPS) — and validates in two
-layers:
+(BENCH_table2.json, inference times), ``serving`` (BENCH_serving.json,
+server latency/QPS) or ``hybrid-closure`` (BENCH_hybrid.json, memsim
+counters plus the full-vs-hybrid resident-closure comparison) — and
+validates in two layers:
 
 1. **Structural invariants** — the assertions the smoke job has always
    made (records present, inferray cells infer something, the
@@ -113,6 +114,54 @@ def check_serving_structure(report):
     return phases["read_only"]["read"]["n"] + phases["mixed"]["read"]["n"]
 
 
+def check_hybrid_structure(report):
+    assert report["table"] == "hybrid-closure", report.get("table")
+    memsim = report["memsim"]
+    assert memsim, "no memsim rows emitted"
+    for row in memsim:
+        for key in ("chain", "engine", "inferred", "counters"):
+            assert key in row, (key, sorted(row))
+    inferray = [r for r in memsim if r["engine"] == "inferray"]
+    assert inferray, "no inferray memsim rows"
+    assert all(
+        r["bytes_per_triple"] and r["bytes_per_triple"] > 0 for r in inferray
+    ), inferray
+
+    hybrid = report["hybrid"]
+    for key in ("dataset", "modes", "answers_match", "comparison"):
+        assert key in hybrid, (key, sorted(hybrid))
+    assert hybrid["answers_match"] is True, "hybrid answers diverge from full"
+    modes = hybrid["modes"]
+    assert set(modes) == {"full", "hybrid"}, sorted(modes)
+    for mode, row in modes.items():
+        for key in (
+            "stored_triples",
+            "entailed_triples",
+            "memory_bytes",
+            "bytes_per_triple",
+            "flush_seconds",
+            "absorbed_rules",
+        ):
+            assert key in row, (mode, key, sorted(row))
+    full, hyb = modes["full"], modes["hybrid"]
+    # The point of the mode: same entailed closure from a smaller,
+    # cheaper resident store.
+    assert hyb["entailed_triples"] == full["entailed_triples"], modes
+    assert hyb["stored_triples"] < full["stored_triples"], modes
+    assert hyb["bytes_per_triple"] < full["bytes_per_triple"], modes
+    assert hyb["flush_seconds"] < full["flush_seconds"], modes
+    assert hyb["absorbed_rules"] > 0, modes
+    comparison = hybrid["comparison"]
+    for key in (
+        "stored_triples_ratio",
+        "bytes_per_triple_ratio",
+        "flush_speedup",
+    ):
+        assert key in comparison, (key, sorted(comparison))
+        assert comparison[key] is not None and comparison[key] > 0, comparison
+    return len(memsim)
+
+
 def check_structure(report):
     assert report["table"] == "table2-rdfs", report.get("table")
     results = report["results"]
@@ -187,6 +236,21 @@ def main(argv=None):
         report.get("table"),
         baseline.get("table"),
     )
+
+    if report.get("table") == "hybrid-closure":
+        n_rows = check_hybrid_structure(report)
+        added = check_against_baseline(report, baseline)
+        comparison = report["hybrid"]["comparison"]
+        print(
+            f"OK: {n_rows} memsim rows; hybrid stores "
+            f"{comparison['stored_triples_ratio']:.2f}x the triples at "
+            f"{comparison['bytes_per_triple_ratio']:.2f}x the "
+            f"bytes/triple, flush speedup "
+            f"{comparison['flush_speedup']:.2f}x; answers match"
+        )
+        if added:
+            print(f"note: fields added vs baseline: {sorted(added)}")
+        return 0
 
     if report.get("table") == "serving":
         n_reads = check_serving_structure(report)

@@ -23,6 +23,7 @@ import os
 import sys
 from typing import List, Optional
 
+from .core.engine import MATERIALIZE_MODES
 from .core.parallel import PARALLEL_MODES, ProcessModeUnavailable
 from .core.store_api import Store, StoreFormatError, is_store_file
 from .kernels import BACKEND_NAMES, KernelUnavailableError
@@ -74,6 +75,18 @@ def _add_ruleset_argument(
     )
 
 
+def _add_materialize_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--materialize",
+        choices=MATERIALIZE_MODES,
+        default=None,
+        help="entailment mode: 'full' stores the whole closure, "
+        "'hybrid' absorbs the hierarchy rules into the LiteMat-style "
+        "interval encoding and answers them at query time "
+        "(default: $REPRO_MATERIALIZE or full)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -106,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "operating ranges; forcing one pins --backend auto to the "
         "python kernels and conflicts with --backend numpy)",
     )
+    _add_materialize_argument(infer_cmd)
     _add_backend_argument(infer_cmd)
     _add_workers_argument(infer_cmd)
     infer_cmd.add_argument(
@@ -118,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats_cmd.add_argument("input", help="input N-Triples file")
     _add_ruleset_argument(stats_cmd)
+    _add_materialize_argument(stats_cmd)
     _add_backend_argument(stats_cmd)
     _add_workers_argument(stats_cmd)
 
@@ -136,6 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serialized store file to write",
     )
     _add_ruleset_argument(save_cmd)
+    _add_materialize_argument(save_cmd)
     _add_backend_argument(save_cmd)
     _add_workers_argument(save_cmd)
 
@@ -153,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with -o: dump only the derived triples",
     )
+    _add_materialize_argument(load_cmd)
     _add_backend_argument(load_cmd)
 
     query_cmd = commands.add_parser(
@@ -174,6 +191,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print at most this many solutions",
     )
     _add_ruleset_argument(query_cmd, default=None)
+    _add_materialize_argument(query_cmd)
     _add_backend_argument(query_cmd)
     _add_workers_argument(query_cmd)
 
@@ -211,6 +229,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="threads answering BGP queries",
     )
     _add_ruleset_argument(serve_cmd, default=None)
+    _add_materialize_argument(serve_cmd)
     _add_backend_argument(serve_cmd)
     _add_workers_argument(serve_cmd)
 
@@ -222,6 +241,7 @@ def _open_store(args: argparse.Namespace) -> Store:
     ruleset = getattr(args, "ruleset", None)
     workers = getattr(args, "workers", None)
     parallel_mode = getattr(args, "parallel_mode", None)
+    materialize = getattr(args, "materialize", None)
     if is_store_file(args.input):
         options = {
             "backend": args.backend,
@@ -230,6 +250,8 @@ def _open_store(args: argparse.Namespace) -> Store:
         }
         if ruleset:
             options["ruleset"] = ruleset
+        if materialize:
+            options["materialize"] = materialize
         return Store.load(args.input, **options)
     return Store.from_file(
         args.input,
@@ -237,6 +259,7 @@ def _open_store(args: argparse.Namespace) -> Store:
         backend=args.backend,
         workers=workers,
         parallel_mode=parallel_mode,
+        materialize=materialize,
     )
 
 
@@ -258,6 +281,7 @@ def _run_infer(args: argparse.Namespace) -> int:
         timeout_seconds=args.timeout,
         workers=args.workers,
         parallel_mode=args.parallel_mode,
+        materialize=args.materialize,
     )
     loaded = store.add_file(args.input)
     store.materialize()
@@ -281,15 +305,26 @@ def _run_stats(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         parallel_mode=args.parallel_mode,
+        materialize=args.materialize,
     )
     loaded = store.add_file(args.input)
     stats = store.materialize()
     print(f"kernel backend:    {store.engine.kernels.name}")
+    print(f"materialize mode:  {store.materialize_mode} "
+          f"({len(store.absorbed_rules)} absorbed rule(s))")
+    if store.hybrid_fallback:
+        print(f"hybrid fallback:   {store.hybrid_fallback}")
     print(f"workers:           {stats.workers} "
           f"({stats.parallel_mode}, {stats.n_waves} scheduler wave(s))")
+    # In hybrid mode the entailed closure is larger than what is
+    # stored: report the entailed counts (what queries answer), plus
+    # the reduced resident closure.
+    n_entailed = store.n_triples
     print(f"input triples:     {loaded}")
-    print(f"inferred triples:  {stats.n_inferred}")
-    print(f"total triples:     {stats.n_total}")
+    print(f"inferred triples:  {n_entailed - stats.n_input}")
+    print(f"total triples:     {n_entailed}")
+    if stats.n_total != n_entailed:
+        print(f"stored triples:    {stats.n_total} (reduced closure)")
     print(f"iterations:        {stats.iterations}")
     print(f"closure pairs:     {stats.closure_pairs}")
     print(f"wall time:         {stats.total_seconds * 1000:.1f} ms")
@@ -333,14 +368,15 @@ def _run_save(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         parallel_mode=args.parallel_mode,
+        materialize=args.materialize,
     )
     loaded = store.add_file(args.input)
     stats = store.materialize()
     written = store.save(args.output)
     print(
         f"{args.input}: {loaded} asserted -> {store.n_triples} total "
-        f"({stats.n_inferred} inferred); wrote {written:,} bytes to "
-        f"{args.output}",
+        f"({store.n_triples - stats.n_input} inferred); wrote "
+        f"{written:,} bytes to {args.output}",
         file=sys.stderr,
     )
     return 0
@@ -357,7 +393,10 @@ def _run_load(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    store = Store.load(args.input, backend=args.backend)
+    load_options = {"backend": args.backend}
+    if args.materialize:
+        load_options["materialize"] = args.materialize
+    store = Store.load(args.input, **load_options)
     if args.output:
         triples = (
             store.inferred() if args.inferred_only else store.triples()
@@ -371,6 +410,8 @@ def _run_load(args: argparse.Namespace) -> int:
     n_asserted = len(store.asserted())
     print(f"store file:        {args.input}")
     print(f"ruleset:           {store.engine.ruleset_name}")
+    print(f"materialize mode:  {store.materialize_mode} "
+          f"({len(store.absorbed_rules)} absorbed rule(s))")
     print(f"kernel backend:    {store.engine.kernels.name}")
     print(f"total triples:     {store.n_triples}")
     print(f"asserted triples:  {n_asserted}")

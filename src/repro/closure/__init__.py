@@ -7,6 +7,8 @@ from .components import (
 )
 from .intervals import IntervalSet
 from .nuutila import (
+    ReachIndex,
+    build_reach_index,
     strongly_connected_components,
     transitive_closure,
     transitive_closure_pairs,
@@ -15,7 +17,9 @@ from .unionfind import UnionFind
 
 __all__ = [
     "IntervalSet",
+    "ReachIndex",
     "UnionFind",
+    "build_reach_index",
     "closed_pairs",
     "connected_component_edges",
     "strongly_connected_components",

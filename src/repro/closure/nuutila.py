@@ -122,6 +122,177 @@ def strongly_connected_components(
     return components
 
 
+class ReachIndex:
+    """Dense closure-id numbering plus per-node interval reach sets.
+
+    The reusable core of :func:`transitive_closure_pairs` (steps 1–4 of
+    the module pipeline), kept around instead of flattened into an edge
+    list.  Each input node gets a *closure id* — contiguous per SCC, in
+    sinks-first emission order — and each SCC an :class:`IntervalSet` of
+    the closure ids it reaches, so
+
+    ``target reachable from source  ⟺  closure_id(target) ∈ reach(source)``
+
+    with reachability meaning "via at least one edge" (a node reaches
+    itself iff it lies on a cycle or carries a self-loop, matching the
+    transitive-property semantics).  The ``closure_id_of`` /
+    ``original_of_closure`` tables are the remap between the caller's id
+    space (e.g. dictionary ids) and the interval-friendly closure ids;
+    ``repro.litemat`` builds its hierarchy encoding directly on this
+    index.
+    """
+
+    __slots__ = (
+        "closure_id_of",
+        "original_of_closure",
+        "component_intervals",
+        "component_reach",
+        "_component_of_closure",
+    )
+
+    def __init__(
+        self,
+        closure_id_of: Dict[int, int],
+        original_of_closure: List[int],
+        component_intervals: List[Tuple[int, int]],
+        component_reach: List[IntervalSet],
+        component_of_closure: List[int],
+    ):
+        self.closure_id_of = closure_id_of
+        self.original_of_closure = original_of_closure
+        self.component_intervals = component_intervals
+        self.component_reach = component_reach
+        self._component_of_closure = component_of_closure
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.original_of_closure)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.closure_id_of
+
+    def nodes(self):
+        """Original node ids, in closure-id order."""
+        return iter(self.original_of_closure)
+
+    def reach_of(self, node: int):
+        """The node's reach as an IntervalSet of closure ids.
+
+        ``None`` for nodes the graph never mentioned (their reach is
+        empty).  All members of one SCC share the same set object.
+        """
+        cid = self.closure_id_of.get(node)
+        if cid is None:
+            return None
+        return self.component_reach[self._component_of_closure[cid]]
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Whether ``target`` is reachable from ``source`` (≥ 1 edge)."""
+        target_cid = self.closure_id_of.get(target)
+        if target_cid is None:
+            return False
+        reachable = self.reach_of(source)
+        return reachable is not None and target_cid in reachable
+
+    def reachable_nodes(self, node: int) -> List[int]:
+        """Original ids reachable from ``node``, in closure-id order."""
+        reachable = self.reach_of(node)
+        if reachable is None:
+            return []
+        originals = self.original_of_closure
+        return [originals[cid] for cid in reachable]
+
+    def components(self):
+        """Yield ``(member_closure_ids, reach)`` in emission order."""
+        for comp_index, (low, high) in enumerate(self.component_intervals):
+            yield range(low, high + 1), self.component_reach[comp_index]
+
+    def n_reach_pairs(self) -> int:
+        """Size of the closed edge relation this index encodes."""
+        total = 0
+        for members, reachable in self.components():
+            count = sum(
+                high - low + 1 for low, high in reachable.intervals()
+            )
+            total += len(members) * count
+        return total
+
+    def n_intervals(self) -> int:
+        """Total intervals across the per-component reach sets."""
+        return sum(r.n_intervals for r in self.component_reach)
+
+
+def build_reach_index(edges: Iterable[Edge]) -> ReachIndex:
+    """Run steps 1–4 of the closure pipeline and keep the index.
+
+    Accepts arbitrary 64-bit integer node ids; cycles and duplicate
+    edges are fine.  An empty edge list yields an empty index.
+    """
+    edge_list = list(edges)
+    to_local, to_original = _dense_node_map(edge_list)
+    n_nodes = len(to_original)
+    adjacency = _build_adjacency(n_nodes, edge_list, to_local)
+    has_self_loop = [False] * n_nodes
+    for node, children in enumerate(adjacency):
+        if node in children:
+            has_self_loop[node] = True
+
+    components = strongly_connected_components(adjacency)
+
+    # Closure ids: contiguous per component, in emission (sinks-first)
+    # order — Cotton's dense renumbering.
+    component_of = [0] * n_nodes
+    closure_id = [0] * n_nodes
+    component_interval: List[Tuple[int, int]] = []
+    next_id = 0
+    for comp_index, members in enumerate(components):
+        base = next_id
+        for member in members:
+            component_of[member] = comp_index
+            closure_id[member] = next_id
+            next_id += 1
+        component_interval.append((base, next_id - 1))
+
+    original_of_closure = [0] * n_nodes
+    component_of_closure = [0] * n_nodes
+    for node in range(n_nodes):
+        original_of_closure[closure_id[node]] = to_original[node]
+        component_of_closure[closure_id[node]] = component_of[node]
+
+    # Reverse-topological interval-union pass.
+    reach: List[IntervalSet] = []
+    for comp_index, members in enumerate(components):
+        reachable = IntervalSet()
+        successor_components = set()
+        loops = False
+        for member in members:
+            if has_self_loop[member]:
+                loops = True
+            for child in adjacency[member]:
+                child_comp = component_of[child]
+                if child_comp != comp_index:
+                    successor_components.add(child_comp)
+        for child_comp in successor_components:
+            low, high = component_interval[child_comp]
+            reachable.union_update(IntervalSet.single(low, high))
+            reachable.union_update(reach[child_comp])
+        if len(members) > 1 or loops:
+            low, high = component_interval[comp_index]
+            reachable.union_update(IntervalSet.single(low, high))
+        reach.append(reachable)
+
+    closure_id_of = {
+        to_original[node]: closure_id[node] for node in range(n_nodes)
+    }
+    return ReachIndex(
+        closure_id_of,
+        original_of_closure,
+        component_interval,
+        reach,
+        component_of_closure,
+    )
+
+
 def transitive_closure_pairs(
     edges: Iterable[Edge],
     *,
@@ -152,67 +323,19 @@ def transitive_closure_pairs(
     if not edge_list:
         return out
 
-    to_local, to_original = _dense_node_map(edge_list)
-    n_nodes = len(to_original)
-    adjacency = _build_adjacency(n_nodes, edge_list, to_local)
-    has_self_loop = [False] * n_nodes
-    for node, children in enumerate(adjacency):
-        if node in children:
-            has_self_loop[node] = True
-
-    components = strongly_connected_components(adjacency)
-
-    # Closure ids: contiguous per component, in emission (sinks-first)
-    # order — Cotton's dense renumbering.
-    component_of = [0] * n_nodes
-    closure_id = [0] * n_nodes
-    component_interval: List[Tuple[int, int]] = []
-    next_id = 0
-    for comp_index, members in enumerate(components):
-        base = next_id
-        for member in members:
-            component_of[member] = comp_index
-            closure_id[member] = next_id
-            next_id += 1
-        component_interval.append((base, next_id - 1))
-
-    original_of_closure = [0] * n_nodes
-    for node in range(n_nodes):
-        original_of_closure[closure_id[node]] = to_original[node]
-
-    # Reverse-topological interval-union pass.
-    reach: List[IntervalSet] = []
-    for comp_index, members in enumerate(components):
-        reachable = IntervalSet()
-        successor_components = set()
-        loops = False
-        for member in members:
-            if has_self_loop[member]:
-                loops = True
-            for child in adjacency[member]:
-                child_comp = component_of[child]
-                if child_comp != comp_index:
-                    successor_components.add(child_comp)
-        for child_comp in successor_components:
-            low, high = component_interval[child_comp]
-            reachable.union_update(IntervalSet.single(low, high))
-            reachable.union_update(reach[child_comp])
-        if len(members) > 1 or loops:
-            low, high = component_interval[comp_index]
-            reachable.union_update(IntervalSet.single(low, high))
-        reach.append(reachable)
+    index = build_reach_index(edge_list)
+    originals = index.original_of_closure
 
     # Emit the closed pairs, mapping ids back.
     original_inputs = None
     if not include_input:
         original_inputs = set(edge_list)
-    for comp_index, members in enumerate(components):
-        reachable = reach[comp_index]
+    for members, reachable in index.components():
         if not reachable:
             continue
-        targets = [original_of_closure[value] for value in reachable]
+        targets = [originals[value] for value in reachable]
         for member in members:
-            source = to_original[member]
+            source = originals[member]
             for target in targets:
                 if original_inputs is not None and (
                     source,

@@ -24,12 +24,18 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..dictionary.encoding import Dictionary, encode_dataset
 from ..kernels import KernelBackend, resolve_backend
+from ..litemat.encoder import HierarchyEncoding
+from ..litemat.planner import HybridPlan, plan_hybrid
+from ..litemat.view import HybridTripleView
 from ..rdf.ntriples import parse_file
 from ..rdf.terms import Term, Triple
 from ..rules.rulesets import get_ruleset
 from ..rules.spec import Rule, RuleContext, Vocab
 from ..store.triple_store import InferredBuffers, TripleStore
 from .scheduler import ParallelRuleScheduler, resolve_workers
+
+#: Materialization strategies (see ``InferrayEngine`` / ``repro.Store``).
+MATERIALIZE_MODES = ("full", "hybrid")
 
 
 class FixedPointError(RuntimeError):
@@ -78,6 +84,14 @@ class MaterializationStats:
     #: wall-clock inference time.  ~1.0 when sequential; approaches the
     #: worker count under ideal scaling.
     parallel_speedup: float = 1.0
+    #: Materialization strategy this run used ('full' or 'hybrid').
+    materialize_mode: str = "full"
+    #: Rules the hierarchy encoding absorbed (hybrid runs; empty when
+    #: full or when the hybrid run fell back to the full catalogue).
+    absorbed_rules: List[str] = field(default_factory=list)
+    #: Why a hybrid run fell back to the full catalogue (None if it
+    #: didn't).
+    hybrid_fallback: Optional[str] = None
 
     @property
     def triples_per_second(self) -> float:
@@ -134,6 +148,15 @@ class InferrayEngine:
         the motivating case).  ``None`` reads
         ``$REPRO_SPLIT_THRESHOLD`` (default 16384); ``0`` disables
         splitting.  Only parallel runs split.
+    materialize_mode:
+        ``'full'`` (default) materializes the whole closure;
+        ``'hybrid'`` runs the LiteMat-style reduced catalogue — rules
+        the hierarchy encoding absorbs (see :mod:`repro.litemat`)
+        never fire, and :attr:`hybrid_view` composes their virtual
+        answers back in at read time.  The engine's own ``query`` /
+        ``triples`` accessors always read the *stored* tables; callers
+        wanting entailment-complete hybrid reads go through
+        :attr:`read_view` (the ``repro.Store`` facade does).
     """
 
     def __init__(
@@ -148,6 +171,7 @@ class InferrayEngine:
         workers: Optional[int] = None,
         parallel_mode: Optional[str] = None,
         split_threshold: Optional[int] = None,
+        materialize_mode: str = "full",
     ):
         if isinstance(ruleset, str):
             self.rules: List[Rule] = get_ruleset(ruleset)
@@ -180,6 +204,30 @@ class InferrayEngine:
         self.stats: Optional[MaterializationStats] = None
         self._materialized = False
         self._asserted: List[tuple] = []
+
+        if materialize_mode not in MATERIALIZE_MODES:
+            raise ValueError(
+                f"unknown materialize mode {materialize_mode!r}; "
+                f"expected one of {MATERIALIZE_MODES}"
+            )
+        self.materialize_mode = materialize_mode
+        self._hybrid_plan: Optional[HybridPlan] = None
+        self._reduced_scheduler: Optional[ParallelRuleScheduler] = None
+        self._hybrid_encoding: Optional[HierarchyEncoding] = None
+        self._hybrid_view: Optional[HybridTripleView] = None
+        self._hybrid_fallback_reason: Optional[str] = None
+        if materialize_mode == "hybrid":
+            self._hybrid_plan = plan_hybrid(self.rules, self.ruleset_name)
+            if self._hybrid_plan.absorbed:
+                self._reduced_scheduler = ParallelRuleScheduler(
+                    self._hybrid_plan.reduced_rules,
+                    workers=self.workers,
+                    mode=parallel_mode,
+                    vocab=self.vocab,
+                    kernels=self.kernels,
+                    algorithm=algorithm,
+                    split_threshold=split_threshold,
+                )
 
     # ------------------------------------------------------------------
     # Loading
@@ -215,6 +263,11 @@ class InferrayEngine:
         skipped entirely and a zero-work stats record is returned
         (``self.stats`` keeps the stats of the last *real* run).
 
+        With ``materialize_mode='hybrid'`` the run goes through the
+        reduced-catalogue flush (:meth:`_materialize_hybrid`), falling
+        back to the full catalogue when the planner absorbed nothing or
+        a schema guard trips.
+
         Raises :class:`MaterializationTimeout` when ``timeout_seconds``
         elapses (checked between iterations).
         """
@@ -225,7 +278,18 @@ class InferrayEngine:
                 workers=self.workers,
                 parallel_mode=self.parallel_mode,
                 n_waves=self.scheduler.n_waves,
+                materialize_mode=self.materialize_mode,
+                absorbed_rules=list(self.absorbed_rule_names),
+                hybrid_fallback=self._hybrid_fallback_reason,
             )
+        if self.materialize_mode == "hybrid":
+            return self._materialize_hybrid(timeout_seconds=timeout_seconds)
+        return self._materialize_full(timeout_seconds=timeout_seconds)
+
+    def _materialize_full(
+        self, *, timeout_seconds: Optional[float] = None
+    ) -> MaterializationStats:
+        """The full-catalogue flush (Algorithm 1 verbatim)."""
         stats = MaterializationStats(
             n_input=self.main.n_triples,
             workers=self.workers,
@@ -302,6 +366,301 @@ class InferrayEngine:
         self.stats = stats
         self._materialized = True
         return stats
+
+    # ------------------------------------------------------------------
+    # Hybrid (LiteMat-style) flush
+    # ------------------------------------------------------------------
+    def _hybrid_guard_reason(self) -> Optional[str]:
+        """Why the stored schema forbids absorbing rules, or None.
+
+        The encoding treats ``rdf:type``, ``rdfs:subClassOf/
+        subPropertyOf`` and ``rdfs:domain/range`` as fixed vocabulary.
+        Data that redefines that vocabulary — a sub-property of
+        ``rdfs:subClassOf``, a domain declared on ``rdf:type`` — would
+        route inference *into* the absorbed tables, so such inputs run
+        the full catalogue instead (correct, just not reduced).
+        """
+        vocab = self.vocab
+        reserved = {
+            vocab.type,
+            vocab.subClassOf,
+            vocab.subPropertyOf,
+            vocab.domain,
+            vocab.range,
+        }
+        table = self.main.table(vocab.subPropertyOf)
+        if table is not None:
+            for subject, obj in table.iter_pairs():
+                if subject in reserved or obj in reserved:
+                    return (
+                        "schema-of-schema input: a subPropertyOf row "
+                        "names a reserved RDFS property"
+                    )
+        for attr in ("domain", "range"):
+            table = self.main.table(vocab[attr])
+            if table is not None:
+                for prop, _ in table.iter_pairs():
+                    if prop in reserved:
+                        return (
+                            f"{attr} declared on a reserved RDFS "
+                            "property"
+                        )
+        return None
+
+    def _build_hybrid_encoding(self) -> HierarchyEncoding:
+        """Interval-encode the stored subClassOf/subPropertyOf graphs."""
+        vocab = self.vocab
+        subclass = self.main.table(vocab.subClassOf)
+        subprop = self.main.table(vocab.subPropertyOf)
+        return HierarchyEncoding(
+            subclass.iter_pairs() if subclass is not None else (),
+            subprop.iter_pairs() if subprop is not None else (),
+        )
+
+    def _hierarchy_prepass(
+        self, encoding: HierarchyEncoding, out: InferredBuffers
+    ) -> int:
+        """Type the members of sub-property tables under domain/range.
+
+        The one interaction between absorbed and materialized rules the
+        planner exempts: with PRP-SPO1 (or SCM-DOM2/RNG2) absorbed,
+        PRP-DOM/PRP-RNG never see the data that only *virtually* flows
+        into a declared property — so this schema-sized pass emits
+        ``type(s, c)`` for every subject (object) of each strict
+        sub-property of a domain- (range-) carrying property.  The
+        virtual ``rdf:type`` expansion supplies the superclass closure
+        of these rows, completing the decomposition of the full-mode
+        firings.  Rows are genuine entailments, so re-running the pass
+        on incremental flushes is idempotent (monotone).
+        """
+        plan = self._hybrid_plan
+        vocab = self.vocab
+        kernels = self.kernels
+        jobs = []
+        if plan.copy_data or plan.expand_domain_properties:
+            jobs.append((vocab.domain, True))
+        if plan.copy_data or plan.expand_range_properties:
+            jobs.append((vocab.range, False))
+        emitted = 0
+        for schema_pid, use_subjects in jobs:
+            schema = self.main.table(schema_pid)
+            if schema is None:
+                continue
+            for prop, cls in schema.iter_pairs():
+                for sub in encoding.subproperties(prop):
+                    if sub == prop:
+                        continue  # cycles: own table is handled live
+                    table = self.main.table(sub)
+                    if table is None or not table.n_pairs:
+                        continue
+                    members = kernels.distinct_evens(
+                        table.pairs if use_subjects else table.os_pairs()
+                    )
+                    if len(members):
+                        out.extend(
+                            vocab.type,
+                            kernels.pair_with_constant(members, cls),
+                        )
+                        emitted += len(members)
+        return emitted
+
+    def _materialize_hybrid(
+        self, *, timeout_seconds: Optional[float] = None
+    ) -> MaterializationStats:
+        """Reduced-catalogue flush: encode, pre-pass, fixed point, view."""
+        self._hybrid_view = None
+        self._hybrid_encoding = None
+        plan = self._hybrid_plan
+        if self._reduced_scheduler is None or not plan.absorbed:
+            reason = (
+                f"ruleset {self.ruleset_name!r} has no absorbable rules"
+            )
+        else:
+            reason = self._hybrid_guard_reason()
+        if reason is not None:
+            self._hybrid_fallback_reason = reason
+            stats = self._materialize_full(timeout_seconds=timeout_seconds)
+            stats.materialize_mode = "hybrid"
+            stats.absorbed_rules = []
+            stats.hybrid_fallback = reason
+            return stats
+
+        self._hybrid_fallback_reason = None
+        scheduler = self._reduced_scheduler
+        stats = MaterializationStats(
+            n_input=self.main.n_triples,
+            workers=self.workers,
+            parallel_mode=scheduler.effective_mode,
+            n_waves=scheduler.n_waves,
+            materialize_mode="hybrid",
+            absorbed_rules=list(plan.absorbed),
+        )
+        started = time.perf_counter()
+        deadline = (
+            None if timeout_seconds is None else started + timeout_seconds
+        )
+
+        # Line 2 equivalents: the interval encoding stands in for the
+        # absorbed θ closures; the hierarchy pre-pass covers the
+        # absorbed half of PRP-DOM/PRP-RNG; any θ rule still in the
+        # reduced catalogue closes its properties as usual.
+        closure_started = time.perf_counter()
+        encoding = self._build_hybrid_encoding()
+        stats.closure_pairs += (
+            encoding.classes_up.n_reach_pairs()
+            + encoding.props_up.n_reach_pairs()
+        )
+        prepass_buffers = InferredBuffers()
+        self._hierarchy_prepass(encoding, prepass_buffers)
+        prepass_ctx = RuleContext(
+            main=self.main,
+            new=self.main,
+            out=prepass_buffers,
+            vocab=self.vocab,
+            kernels=self.kernels,
+        )
+        theta_rules = [
+            rule
+            for rule in plan.reduced_rules
+            if rule.rule_class == "theta"
+        ]
+        for rule in theta_rules:
+            stats.closure_pairs += rule.prepass(prepass_ctx)
+        if prepass_buffers:
+            self.main.merge_inferred(prepass_buffers)
+        stats.closure_seconds = time.perf_counter() - closure_started
+
+        new = self.main
+        iteration = 0
+        with scheduler.session() as executor:
+            stats.parallel_mode = scheduler.effective_mode
+            while new:
+                iteration += 1
+                if iteration > self.max_iterations:
+                    raise FixedPointError(
+                        f"no fixed point after {self.max_iterations} "
+                        f"iterations (workers={self.workers}, "
+                        f"mode={scheduler.effective_mode})"
+                    )
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise MaterializationTimeout(
+                        f"inferray: timeout after {timeout_seconds}s "
+                        f"(iteration {iteration}, workers={self.workers}, "
+                        f"mode={scheduler.effective_mode})"
+                    )
+                infer_started = time.perf_counter()
+                outcome = scheduler.run_iteration(
+                    main=self.main,
+                    new=new,
+                    vocab=self.vocab,
+                    kernels=self.kernels,
+                    iteration=iteration,
+                    theta_prepass_done=True,
+                    executor=executor,
+                )
+                stats.inference_seconds += (
+                    time.perf_counter() - infer_started
+                )
+                self._accumulate_outcome(stats, outcome)
+
+                merge_started = time.perf_counter()
+                new = self.main.merge_inferred(outcome.out)
+                stats.merge_seconds += time.perf_counter() - merge_started
+
+        stats.iterations = iteration
+        stats.n_total = self.main.n_triples
+        stats.n_inferred = stats.n_total - stats.n_input
+        stats.total_seconds = time.perf_counter() - started
+        self._finalize_parallel_stats(stats)
+        self._hybrid_encoding = encoding
+        self._hybrid_view = HybridTripleView(
+            self.main, encoding, plan, self.vocab, self.kernels
+        )
+        self.stats = stats
+        self._materialized = True
+        return stats
+
+    @property
+    def hybrid_plan(self) -> Optional[HybridPlan]:
+        """The planner's absorbed/materialized split (hybrid mode only)."""
+        return self._hybrid_plan
+
+    @property
+    def hybrid_view(self) -> Optional[HybridTripleView]:
+        """The virtual read view of the last hybrid flush.
+
+        ``None`` in full mode, before the first flush, and when the
+        flush fell back to the full catalogue (reads then see the
+        fully materialized ``main`` store, which is already complete).
+        """
+        return self._hybrid_view
+
+    @property
+    def read_view(self):
+        """What entailment-complete reads should consume: the hybrid
+        virtual view when one is active, else ``main``.
+
+        A pending (unflushed) load makes the view stale, so it only
+        serves while the engine is materialized — callers flush first,
+        exactly as they must for ``main`` itself.
+        """
+        if self._hybrid_view is not None and self._materialized:
+            return self._hybrid_view
+        return self.main
+
+    @property
+    def absorbed_rule_names(self) -> tuple:
+        """Names of rules the *active* encoding absorbs (empty unless a
+        hybrid view is live)."""
+        if self._hybrid_view is None or self._hybrid_plan is None:
+            return ()
+        return self._hybrid_plan.absorbed
+
+    @property
+    def hybrid_fallback_reason(self) -> Optional[str]:
+        """Why the last hybrid flush ran the full catalogue (or None)."""
+        return self._hybrid_fallback_reason
+
+    def mark_hybrid_fallback(self, reason: str) -> None:
+        """Record an externally-decided fallback (persistence path)."""
+        self._hybrid_view = None
+        self._hybrid_encoding = None
+        self._hybrid_fallback_reason = reason
+
+    def hybrid_state_payload(self) -> Optional[dict]:
+        """JSON-serializable hybrid state for persistence, or None."""
+        if self._hybrid_view is None or self._hybrid_encoding is None:
+            return None
+        return {
+            "absorbed": list(self._hybrid_plan.absorbed),
+            "encoding": self._hybrid_encoding.to_payload(),
+        }
+
+    def adopt_hybrid_state(self, payload: dict) -> bool:
+        """Re-activate a persisted hybrid view without re-materializing.
+
+        Returns False (and marks the engine unmaterialized, so the next
+        read re-flushes) when the persisted split does not match this
+        engine's plan — e.g. a file saved by a different catalogue.
+        """
+        if self.materialize_mode != "hybrid" or self._hybrid_plan is None:
+            return False
+        absorbed = tuple(payload.get("absorbed", ()))
+        if absorbed != self._hybrid_plan.absorbed:
+            self._materialized = False
+            return False
+        self._hybrid_encoding = HierarchyEncoding.from_payload(
+            payload["encoding"]
+        )
+        self._hybrid_fallback_reason = None
+        self._hybrid_view = HybridTripleView(
+            self.main,
+            self._hybrid_encoding,
+            self._hybrid_plan,
+            self.vocab,
+            self.kernels,
+        )
+        return True
 
     @property
     def parallel_mode(self) -> str:
@@ -417,6 +776,9 @@ class InferrayEngine:
             self.main.load_table(property_id, flat_pairs, presorted=True)
         self._asserted = [tuple(item) for item in asserted_encoded]
         self._materialized = bool(materialized)
+        self._hybrid_view = None
+        self._hybrid_encoding = None
+        self._hybrid_fallback_reason = None
         self.stats = None
 
     def memory_bytes(self) -> int:
@@ -445,6 +807,24 @@ class InferrayEngine:
             raise RuntimeError(
                 "materialize_incremental requires a prior materialize()"
             )
+        if self.materialize_mode == "hybrid":
+            # Semi-naive seeding cannot catch what a *schema* delta does
+            # to the encoding (new subClassOf edges change every
+            # absorbed answer) nor re-run the hierarchy pre-pass, so
+            # hybrid additions re-fire the whole hybrid flush.  That is
+            # still the reduced catalogue over the already-closed store
+            # plus the delta — prepass rows are monotone entailments,
+            # so the re-run is idempotent — and it re-checks the guards
+            # against the updated schema.
+            self._materialized = False
+            triple_list = list(triples)
+            _, encoded = encode_dataset(triple_list, self.dictionary)
+            self._asserted.extend(encoded)
+            seed = InferredBuffers()
+            for subject, property_id, obj in encoded:
+                seed.emit(property_id, subject, obj)
+            self.main.merge_inferred(seed)
+            return self._materialize_hybrid(timeout_seconds=timeout_seconds)
         # The closure is incomplete until the delta fixed point lands:
         # clear the flag so an abort (timeout) leaves the engine marked
         # stale and the next materialize() recovers instead of serving
@@ -540,7 +920,9 @@ class InferrayEngine:
     ) -> Iterator[Triple]:
         """Decoded pattern query; ``None`` positions are wildcards.
 
-        Unknown terms (never loaded nor derived) match nothing.
+        Unknown terms (never loaded nor derived) match nothing.  In
+        hybrid mode this answers through :attr:`read_view`, so absorbed
+        (virtual) entailments match like stored ones.
         """
         ids: List[Optional[int]] = []
         for term in (subject, predicate, obj):
@@ -552,14 +934,15 @@ class InferrayEngine:
                     return
                 ids.append(term_id)
         decode = self.dictionary.decode_triple
-        for encoded in self.main.query(ids[0], ids[1], ids[2]):
+        for encoded in self.read_view.query(ids[0], ids[1], ids[2]):
             yield decode(encoded)
 
     def contains(self, triple: Triple) -> bool:
-        """Membership test for one decoded triple."""
+        """Membership test for one decoded triple (read-view semantics,
+        like :meth:`query`)."""
         subject_id = self.dictionary.id_of(triple.subject)
         property_id = self.dictionary.id_of(triple.predicate)
         object_id = self.dictionary.id_of(triple.object)
         if None in (subject_id, property_id, object_id):
             return False
-        return (subject_id, property_id, object_id) in self.main
+        return (subject_id, property_id, object_id) in self.read_view

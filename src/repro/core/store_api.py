@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import struct
 import sys
+import warnings
 from array import array
 from dataclasses import dataclass, replace
 from typing import (
@@ -56,7 +58,7 @@ from ..rdf.graph import Graph
 from ..rdf.ntriples import parse_file
 from ..rdf.terms import Term, Triple, term_from_record, term_to_record
 from ..rules.spec import Rule
-from .engine import InferrayEngine, MaterializationStats
+from .engine import MATERIALIZE_MODES, InferrayEngine, MaterializationStats
 
 __all__ = [
     "Snapshot",
@@ -69,8 +71,16 @@ __all__ = [
 #: Magic bytes opening every serialized store file.
 STORE_MAGIC = b"REPRO-STORE\x00"
 
-#: Current on-disk format version.
-STORE_FORMAT_VERSION = 1
+#: Current on-disk format version.  Version 2 added the
+#: ``"materialize"`` header key and the optional ``"sections"`` list
+#: (named blobs appended after the asserted data — readers skip
+#: sections they do not recognize, with a warning, so the section
+#: mechanism is forward-compatible).  Version-1 files still load and
+#: are treated as full-mode stores.
+STORE_FORMAT_VERSION = 2
+
+#: On-disk format versions this build reads.
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 class StoreFormatError(ValueError):
@@ -103,6 +113,25 @@ class StoreConfig:
     #: key-range shards; ``None`` reads ``$REPRO_SPLIT_THRESHOLD``
     #: (default 16384), ``0`` disables intra-rule splitting.
     split_threshold: Optional[int] = None
+    #: Entailment mode: 'full' materializes the whole closure, 'hybrid'
+    #: absorbs the hierarchy-shaped rules into the LiteMat-style
+    #: interval encoding (:mod:`repro.litemat`) and answers them at
+    #: read time; ``None`` reads ``$REPRO_MATERIALIZE`` (default
+    #: 'full').  Answers are identical either way.
+    materialize: Optional[str] = None
+
+    @property
+    def resolved_materialize(self) -> str:
+        """The effective mode after the ``$REPRO_MATERIALIZE`` default."""
+        mode = self.materialize
+        if mode is None:
+            mode = os.environ.get("REPRO_MATERIALIZE") or "full"
+        if mode not in MATERIALIZE_MODES:
+            raise ValueError(
+                f"materialize must be one of {MATERIALIZE_MODES}, "
+                f"got {mode!r}"
+            )
+        return mode
 
     def make_engine(self) -> InferrayEngine:
         """A fresh engine honouring this configuration."""
@@ -115,6 +144,7 @@ class StoreConfig:
             workers=self.workers,
             parallel_mode=self.parallel_mode,
             split_threshold=self.split_threshold,
+            materialize_mode=self.resolved_materialize,
         )
 
 
@@ -585,6 +615,26 @@ class Store(_ReadAPI):
         return self._engine
 
     @property
+    def materialize_mode(self) -> str:
+        """The entailment mode this store runs under: 'full' or 'hybrid'."""
+        return self._engine.materialize_mode
+
+    @property
+    def absorbed_rules(self) -> Tuple[str, ...]:
+        """Rules the active hybrid encoding answers at read time.
+
+        Empty in full mode, before the first flush, and when the last
+        hybrid flush fell back to the full catalogue (see
+        :attr:`hybrid_fallback`).
+        """
+        return tuple(self._engine.absorbed_rule_names)
+
+    @property
+    def hybrid_fallback(self) -> Optional[str]:
+        """Why the last hybrid flush ran the full catalogue, or None."""
+        return self._engine.hybrid_fallback_reason
+
+    @property
     def n_asserted(self) -> int:
         """Asserted triples, including pending ones (duplicates incl.)."""
         return self._engine.n_asserted + len(self._pending_adds)
@@ -602,7 +652,10 @@ class Store(_ReadAPI):
         # The engine's asserted list is handed out uncopied — reads
         # only iterate it (copying per read would cost O(n_asserted)
         # on every BGP binding probe); snapshot() freezes its own copy.
-        return engine.main, engine.dictionary, engine._asserted
+        # ``read_view`` is ``main`` in full mode and the hybrid virtual
+        # view (stored tables + interval-encoding rewrite) in hybrid
+        # mode — every read above this line is mode-agnostic.
+        return engine.read_view, engine.dictionary, engine._asserted
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -616,7 +669,7 @@ class Store(_ReadAPI):
         self._refresh()
         engine = self._engine
         return Snapshot(
-            engine.main.share_view(),
+            engine.read_view.share_view(),
             engine.dictionary,
             engine.asserted_encoded(),
             engine.ruleset_name,
@@ -650,17 +703,31 @@ class Store(_ReadAPI):
             asserted_flat.append(subject)
             asserted_flat.append(property_id)
             asserted_flat.append(obj)
+        # "materialize" records what the stored *tables* represent: a
+        # hybrid flush that fell back to the full catalogue stores the
+        # complete closure, so its file is a full-mode file.
+        hybrid_state = engine.hybrid_state_payload()
+        sections: List[dict] = []
+        section_blobs: List[bytes] = []
+        if hybrid_state is not None:
+            blob = json.dumps(
+                hybrid_state, separators=(",", ":")
+            ).encode("utf-8")
+            sections.append({"name": "litemat", "n_bytes": len(blob)})
+            section_blobs.append(blob)
         header = {
             "format": "repro-store",
             "version": STORE_FORMAT_VERSION,
             "ruleset": engine.ruleset_name,
             "algorithm": engine.algorithm,
             "materialized": engine.is_materialized,
+            "materialize": "hybrid" if hybrid_state is not None else "full",
             "n_triples": engine.n_triples,
             "property_terms": [term_to_record(t) for t in property_terms],
             "resource_terms": [term_to_record(t) for t in resource_terms],
             "tables": table_entries,
             "n_asserted": len(asserted_flat) // 3,
+            "sections": sections,
         }
         payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
         written = 0
@@ -671,6 +738,8 @@ class Store(_ReadAPI):
             for blob in blobs:
                 written += handle.write(blob)
             written += handle.write(_flat_to_le_bytes(asserted_flat))
+            for blob in section_blobs:
+                written += handle.write(blob)
         return written
 
     @classmethod
@@ -685,18 +754,28 @@ class Store(_ReadAPI):
 
         ``backend`` / ``algorithm`` / other :class:`StoreConfig`
         options may be overridden (the pair arrays are
-        backend-portable); the ruleset defaults to the one saved.  A
-        store saved from a custom (unnamed) rule list needs an explicit
-        ``ruleset=`` override here.
+        backend-portable); the ruleset and entailment mode default to
+        the saved ones (pre-hybrid files are full-mode).  A store saved
+        from a custom (unnamed) rule list needs an explicit ``ruleset=``
+        override here.
+
+        Loading across modes stays correct, not O(read): a hybrid file
+        opened as ``materialize="full"`` holds only the reduced closure,
+        so it re-materializes on first read; a full file opened as
+        ``materialize="hybrid"`` already holds the complete closure and
+        serves it as-is (nothing absorbed until the next flush).
         """
         with open(path, "rb") as handle:
-            header, tables, asserted = _read_store_file(handle)
+            header, tables, asserted, sections = _read_store_file(handle)
+        saved_mode = header.get("materialize", "full")
         overrides = dict(options)
         if config is None:
             if "ruleset" not in overrides:
                 overrides["ruleset"] = header["ruleset"]
             if "algorithm" not in overrides:
                 overrides["algorithm"] = header["algorithm"]
+            if "materialize" not in overrides:
+                overrides["materialize"] = saved_mode
             config = StoreConfig(**overrides)
         elif overrides:
             config = replace(config, **overrides)
@@ -710,12 +789,27 @@ class Store(_ReadAPI):
             [term_from_record(r) for r in header["resource_terms"]],
         )
         store = cls(config=config)
-        store._engine.restore(
+        engine = store._engine
+        materialized = bool(header["materialized"])
+        if saved_mode == "hybrid" and engine.materialize_mode != "hybrid":
+            # The file holds only the reduced closure — a full-mode
+            # reader must complete it before serving.
+            materialized = False
+        engine.restore(
             dictionary,
             asserted,
             tables,
-            materialized=header["materialized"],
+            materialized=materialized,
         )
+        if engine.materialize_mode == "hybrid" and materialized:
+            payload = sections.get("litemat")
+            if payload is not None:
+                engine.adopt_hybrid_state(payload)
+            else:
+                engine.mark_hybrid_fallback(
+                    "loaded from a full-mode store file (closure already "
+                    "complete; nothing absorbed until the next flush)"
+                )
         return store
 
 
@@ -747,7 +841,13 @@ def _le_bytes_to_flat(data: bytes) -> array:
 
 
 def _read_store_file(handle: io.BufferedIOBase):
-    """Parse a serialized store: (header, [(pid, flat)…], asserted)."""
+    """Parse a serialized store:
+    (header, [(pid, flat)…], asserted, {section name: payload}).
+
+    Optional header sections the build does not recognize are skipped
+    with a warning (their byte length is in the header), so files from
+    newer writers degrade gracefully instead of failing to load.
+    """
     magic = handle.read(len(STORE_MAGIC))
     if magic != STORE_MAGIC:
         raise StoreFormatError("not a repro store file (bad magic)")
@@ -762,10 +862,10 @@ def _read_store_file(handle: io.BufferedIOBase):
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise StoreFormatError(f"corrupt store header: {error}") from error
-    if header.get("version") != STORE_FORMAT_VERSION:
+    if header.get("version") not in _SUPPORTED_VERSIONS:
         raise StoreFormatError(
             f"unsupported store format version {header.get('version')!r} "
-            f"(this build reads version {STORE_FORMAT_VERSION})"
+            f"(this build reads versions {_SUPPORTED_VERSIONS})"
         )
     tables = []
     for entry in header["tables"]:
@@ -782,7 +882,30 @@ def _read_store_file(handle: io.BufferedIOBase):
     asserted = [
         (flat[i], flat[i + 1], flat[i + 2]) for i in range(0, len(flat), 3)
     ]
-    return header, tables, asserted
+    sections: Dict[str, dict] = {}
+    for entry in header.get("sections", ()):
+        name = entry.get("name")
+        n_bytes = int(entry.get("n_bytes", 0))
+        blob = handle.read(n_bytes)
+        if len(blob) != n_bytes:
+            raise StoreFormatError(
+                f"truncated store file (section {name!r})"
+            )
+        if name == "litemat":
+            try:
+                sections[name] = json.loads(blob.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise StoreFormatError(
+                    f"corrupt store section {name!r}: {error}"
+                ) from error
+        else:
+            warnings.warn(
+                f"repro store: skipping unknown optional section "
+                f"{name!r} ({n_bytes} bytes); the file was probably "
+                "written by a newer build",
+                stacklevel=3,
+            )
+    return header, tables, asserted, sections
 
 
 def is_store_file(path: str) -> bool:

@@ -21,6 +21,16 @@ subjects of ``rdfs:domain`` / ``rdfs:range``, and subjects typed as a
 property class) are promoted to the property space by the two-pass
 :func:`encode_dataset` helper, so that rules whose *output predicate* is a
 variable (e.g. EQ-REP-P, PRP-SPO1) always find a property id.
+
+The hybrid entailment mode (:mod:`repro.litemat`) layers a second,
+derived numbering on top of this one: the interval encoder remaps the
+dictionary ids that occur in ``rdfs:subClassOf`` /
+``rdfs:subPropertyOf`` positions onto dense *closure ids* ordered by a
+hierarchy traversal, so subsumption becomes an id-range test.  That
+remap never feeds back into this dictionary — closure ids live only
+inside :class:`repro.litemat.encoder.HierarchyEncoding` — but it relies
+on the density guaranteed here to keep its id↔interval tables flat
+arrays rather than hash maps.
 """
 
 from __future__ import annotations

@@ -153,5 +153,35 @@ class KernelBackend:
                 high = mid
         return low
 
+    def select_in_ranges(self, sorted_values, ranges) -> Sequence[int]:
+        """Values falling inside any of the inclusive ``[lo, hi]`` ranges.
+
+        ``sorted_values`` is an ascending int sequence; ``ranges`` an
+        iterable of ``(lo, hi)`` bounds, ascending and disjoint (the
+        layout of ``IntervalSet.intervals()``).  Returns the matching
+        values in ascending order.  Generic two-pointer/bisect sweep;
+        backends may override with a vectorized search.  Used by the
+        hybrid query rewrite to filter stored class/property candidates
+        through an interval-encoded reach set.
+        """
+        out = []
+        index, n_values = 0, len(sorted_values)
+        for low, high in ranges:
+            if index >= n_values:
+                break
+            # Binary-search forward to the first value >= low.
+            lo_i, hi_i = index, n_values
+            while lo_i < hi_i:
+                mid = (lo_i + hi_i) // 2
+                if sorted_values[mid] < low:
+                    lo_i = mid + 1
+                else:
+                    hi_i = mid
+            index = lo_i
+            while index < n_values and sorted_values[index] <= high:
+                out.append(sorted_values[index])
+                index += 1
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<{type(self).__name__} {self.name}>"

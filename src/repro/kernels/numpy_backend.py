@@ -357,6 +357,26 @@ class NumpyKernels(KernelBackend):
         a = self.asarray(sorted_flat)
         return int(np.searchsorted(a[0::2], key, side="left"))
 
+    def select_in_ranges(self, sorted_values, ranges) -> Sequence[int]:
+        values = (
+            sorted_values
+            if isinstance(sorted_values, np.ndarray)
+            else np.asarray(list(sorted_values), dtype=INT64)
+        )
+        if values.size == 0:
+            return values
+        bounds = list(ranges)
+        if not bounds:
+            return values[:0]
+        lows = np.asarray([low for low, _ in bounds], dtype=INT64)
+        highs = np.asarray([high for _, high in bounds], dtype=INT64)
+        starts = np.searchsorted(values, lows, side="left")
+        ends = np.searchsorted(values, highs, side="right")
+        chunks = [values[s:e] for s, e in zip(starts, ends) if e > s]
+        if not chunks:
+            return values[:0]
+        return np.concatenate(chunks)
+
 
 #: Shared stateless instance.
 NUMPY_KERNELS = NumpyKernels()

@@ -1,0 +1,33 @@
+"""Hierarchy-encoded hybrid entailment (LiteMat-style).
+
+Instead of materializing the rdfs7/rdfs9-shaped consequences of the
+subClassOf/subPropertyOf lattice, this subsystem encodes the lattice
+as interval sets over dense closure ids (:mod:`.encoder`), decides per
+ruleset which Table-5 rules that encoding absorbs (:mod:`.planner`),
+and answers reads through a virtual triple view that composes the
+reduced stored closure with id-range tests (:mod:`.view`).
+
+``Store(materialize="hybrid")`` wires the three together; answers are
+byte-identical to ``materialize="full"`` while the stored closure —
+and hence flush time and resident size — shrinks by the absorbed
+rules' output.
+"""
+
+from .encoder import HierarchyEncoding, encode_hierarchies
+from .planner import (
+    ABSORBABLE_RULES,
+    HIERARCHY_AWARE_RULES,
+    HybridPlan,
+    plan_hybrid,
+)
+from .view import HybridTripleView
+
+__all__ = [
+    "ABSORBABLE_RULES",
+    "HIERARCHY_AWARE_RULES",
+    "HierarchyEncoding",
+    "HybridPlan",
+    "HybridTripleView",
+    "encode_hierarchies",
+    "plan_hybrid",
+]

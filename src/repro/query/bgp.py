@@ -6,6 +6,14 @@ query engine."  This module is that consumer — a small conjunctive
 (SPARQL-BGP-style) query evaluator that runs over the *closed* store,
 needing no inference of its own.
 
+Hybrid mode (:mod:`repro.litemat`) preserves that property from the
+evaluator's point of view: the ``engine`` handed to
+:meth:`Query.execute` is the store facade, whose pattern lookups route
+through the engine's read view — in hybrid mode a
+:class:`repro.litemat.view.HybridTripleView` that answers
+rdfs7/rdfs9-style patterns from the interval encoding.  The rewrite
+composes *beneath* this module; nothing here changes per mode.
+
 Variables are :class:`Var` instances (``Var("x")`` or the ``?name``
 shorthand of :func:`parse_pattern`); evaluation binds them left to
 right, driving each pattern through the engine's indexed

@@ -135,6 +135,17 @@ class RuleDependencyGraph:
         """Successor rule indexes of rule ``i`` (sorted)."""
         return list(self._succ[i])
 
+    def fed_by(self, i: int) -> List[int]:
+        """Predecessor rule indexes of rule ``i`` (sorted).
+
+        The reverse of :meth:`feeds`: every rule whose head can produce
+        triples rule ``i``'s body consumes.  The hybrid planner
+        (:mod:`repro.litemat.planner`) uses this to eject an absorbed
+        rule when a still-materialized rule could write into one of the
+        virtual tables the encoding answers from.
+        """
+        return [j for j in range(len(self.rules)) if i in self._succ[j]]
+
     def edges(self) -> List[Tuple[int, int]]:
         """All feeds-edges as (producer, consumer) index pairs."""
         return [(i, j) for i in range(len(self.rules)) for j in self._succ[i]]

@@ -102,9 +102,19 @@ class ServingMetrics:
             "mean_seconds": window.mean,
         }
 
-    def render(self, gauges: Dict[str, float]) -> str:
+    def render(
+        self,
+        gauges: Dict[str, float],
+        raw_gauges: Optional[Dict[str, float]] = None,
+    ) -> str:
         """Prometheus text format; ``gauges`` carries live server state
-        (epoch, queue depth, staleness…) sampled at scrape time."""
+        (epoch, queue depth, staleness…) sampled at scrape time.
+
+        ``gauges`` names are emitted under the ``repro_serving_``
+        prefix; ``raw_gauges`` names are emitted verbatim — for
+        metrics whose canonical name belongs to another subsystem
+        (e.g. ``repro_hybrid_absorbed_rules``).
+        """
         lines: List[str] = []
 
         def emit(name: str, value, labels: str = "") -> None:
@@ -112,6 +122,9 @@ class ServingMetrics:
                 return
             lines.append(f"repro_serving_{name}{labels} {_fmt(value)}")
 
+        for name, value in (raw_gauges or {}).items():
+            if value is not None:
+                lines.append(f"{name} {_fmt(value)}")
         for name, value in gauges.items():
             emit(name, value)
         for verb, count in sorted(self.requests_total.items()):

@@ -480,6 +480,9 @@ class ReasoningServer:
             "backend": engine.kernels.name,
             "workers": engine.workers,
             "parallel_mode": engine.parallel_mode,
+            "materialize": engine.materialize_mode,
+            "absorbed_rules": list(engine.absorbed_rule_names),
+            "hybrid_fallback": engine.hybrid_fallback_reason,
             "uptime_seconds": time.monotonic() - self._started_at,
             "retained_epochs": list(self._epochs),
             "queue": {
@@ -521,7 +524,12 @@ class ReasoningServer:
             "draining": self.queue.closed,
             "uptime_seconds": now - self._started_at,
         }
-        text = self.metrics.render(gauges)
+        raw_gauges = {
+            "repro_hybrid_absorbed_rules": len(
+                self._store.engine.absorbed_rule_names
+            ),
+        }
+        text = self.metrics.render(gauges, raw_gauges)
         return (
             200,
             text.encode("utf-8"),

@@ -170,7 +170,12 @@ class TestLazyMaterialization:
     def test_materialize_reports_flush_stats(self):
         store = Store(DATA)
         stats = store.materialize()
-        assert stats.n_inferred > 0
+        if store.materialize_mode == "hybrid":
+            # Absorbed entailments are virtual: the stored delta may be
+            # empty, but the served closure still grows past the input.
+            assert store.n_triples > stats.n_input
+        else:
+            assert stats.n_inferred > 0
         assert store.stats is stats
         # Idempotent re-entry: no pending work -> zero-work stats.
         again = store.materialize()
@@ -447,8 +452,13 @@ class TestDeprecatedShims:
 
         with pytest.warns(DeprecationWarning):
             graph, stats = infer_with_stats(DATA)
-        assert stats.n_inferred > 0
-        assert len(graph) == stats.n_total
+        if stats.materialize_mode == "hybrid":
+            # The graph decodes the *served* closure; stats count the
+            # stored (reduced) one.
+            assert len(graph) > stats.n_input
+        else:
+            assert stats.n_inferred > 0
+            assert len(graph) == stats.n_total
 
     def test_inferred_model_warns_and_diffs_encoded(self):
         from repro.core.api import InferredModel

@@ -1,0 +1,183 @@
+"""Header versioning and optional sections of the store file format.
+
+Version 2 added the ``materialize`` key and the named-section tail;
+these tests pin the compatibility contract: v1 (pre-hybrid) files load
+as full-mode stores, unknown optional sections are skipped with a
+warning instead of failing, and the litemat section round-trips a
+hybrid store in O(read) (``engine.stats is None`` proves no inference
+re-ran on load).
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.core.store_api import (
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    Store,
+    StoreFormatError,
+)
+from repro.datasets.chains import subclass_tree, subproperty_chain
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import RDF
+
+DATA = (
+    subclass_tree(3)
+    + subproperty_chain(4)
+    + [
+        Triple(
+            IRI(f"http://example.org/inst/i{i}"),
+            RDF.type,
+            IRI(f"http://example.org/tree/n{3 + i}"),
+        )
+        for i in range(4)
+    ]
+    + [
+        Triple(
+            IRI("http://example.org/fact/s0"),
+            IRI("http://example.org/pchain/n0"),
+            IRI("http://example.org/fact/o0"),
+        )
+    ]
+)
+
+
+def answer_set(store):
+    return sorted(triple.n3() for triple in store.triples())
+
+
+def rewrite_header(path, mutate):
+    """Apply ``mutate(header_dict) -> extra_tail_bytes`` to a file."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    offset = len(STORE_MAGIC)
+    (header_len,) = struct.unpack("<I", blob[offset : offset + 4])
+    body_start = offset + 4 + header_len
+    header = json.loads(blob[offset + 4 : body_start].decode("utf-8"))
+    extra = mutate(header) or b""
+    payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(STORE_MAGIC)
+        handle.write(struct.pack("<I", len(payload)))
+        handle.write(payload)
+        handle.write(blob[body_start:])
+        handle.write(extra)
+
+
+def test_v1_pre_hybrid_file_loads_as_full(tmp_path):
+    path = str(tmp_path / "v1.store")
+    store = Store(DATA, materialize="full")
+    store.save(path)
+    reference = answer_set(store)
+
+    def downgrade(header):
+        assert header["version"] == STORE_FORMAT_VERSION
+        header["version"] = 1
+        del header["materialize"]
+        del header["sections"]
+
+    rewrite_header(path, downgrade)
+    loaded = Store.load(path)
+    assert loaded.materialize_mode == "full"
+    assert loaded.engine.stats is None  # O(read): no inference re-ran
+    assert answer_set(loaded) == reference
+
+
+def test_unknown_optional_section_skipped_with_warning(tmp_path):
+    path = str(tmp_path / "future.store")
+    store = Store(DATA, materialize="full")
+    store.save(path)
+    reference = answer_set(store)
+    tail = b"\x00" * 24
+
+    def add_future_section(header):
+        header["sections"].append(
+            {"name": "frobnicator", "n_bytes": len(tail)}
+        )
+        return tail
+
+    rewrite_header(path, add_future_section)
+    with pytest.warns(UserWarning, match="frobnicator"):
+        loaded = Store.load(path)
+    assert answer_set(loaded) == reference
+
+
+def test_truncated_section_fails_loudly(tmp_path):
+    path = str(tmp_path / "cut.store")
+    Store(DATA, materialize="full").save(path)
+
+    def lie_about_length(header):
+        header["sections"].append({"name": "frobnicator", "n_bytes": 64})
+        return b"\x00" * 8  # shorter than declared
+
+    rewrite_header(path, lie_about_length)
+    with pytest.raises(StoreFormatError, match="truncated"):
+        Store.load(path)
+
+
+def test_unsupported_version_still_rejected(tmp_path):
+    path = str(tmp_path / "vfuture.store")
+    Store(DATA, materialize="full").save(path)
+
+    def bump(header):
+        header["version"] = STORE_FORMAT_VERSION + 1
+
+    rewrite_header(path, bump)
+    with pytest.raises(StoreFormatError, match="version"):
+        Store.load(path)
+
+
+def test_hybrid_round_trip_is_o_read(tmp_path):
+    path = str(tmp_path / "hybrid.store")
+    hybrid = Store(DATA, materialize="hybrid")
+    hybrid.materialize()
+    reference = answer_set(hybrid)
+    stored_before = hybrid.engine.main.n_triples
+    hybrid.save(path)
+
+    loaded = Store.load(path)
+    assert loaded.materialize_mode == "hybrid"
+    assert loaded.engine.stats is None  # adopted, not re-materialized
+    assert loaded.engine.main.n_triples == stored_before
+    assert len(loaded.absorbed_rules) == 8
+    assert answer_set(loaded) == reference
+
+
+def test_hybrid_file_loaded_as_full_rematerializes(tmp_path):
+    path = str(tmp_path / "hybrid.store")
+    hybrid = Store(DATA, materialize="hybrid")
+    hybrid.materialize()
+    reference = answer_set(hybrid)
+    hybrid.save(path)
+
+    loaded = Store.load(path, materialize="full")
+    assert loaded.materialize_mode == "full"
+    # The reduced stored closure must be completed before serving.
+    assert answer_set(loaded) == reference
+    assert loaded.engine.main.n_triples > hybrid.engine.main.n_triples
+
+
+def test_full_file_loaded_as_hybrid_serves_complete_closure(tmp_path):
+    path = str(tmp_path / "full.store")
+    full = Store(DATA, materialize="full")
+    full.materialize()
+    reference = answer_set(full)
+    full.save(path)
+
+    loaded = Store.load(path, materialize="hybrid")
+    assert loaded.materialize_mode == "hybrid"
+    assert loaded.engine.stats is None  # still O(read)
+    assert loaded.hybrid_fallback is not None
+    assert answer_set(loaded) == reference
+    # The next flush re-fires in hybrid mode and starts absorbing.
+    loaded.add(
+        Triple(
+            IRI("http://example.org/inst/late"),
+            RDF.type,
+            IRI("http://example.org/tree/n1"),
+        )
+    )
+    loaded.materialize()
+    assert len(loaded.absorbed_rules) == 8

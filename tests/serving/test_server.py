@@ -234,12 +234,25 @@ def test_backpressure_returns_429_with_retry_after():
         assert rejected, statuses
         assert accepted, statuses
         assert all(int(h["retry-after"]) >= 1 for _, h in rejected)
-        # Everything accepted still lands.
-        client.request("POST", "/add?wait=1", nt("final"))
+        # Everything accepted still lands.  The final write may race
+        # the writer draining the burst (queue still full → another
+        # honest 429), so retry like a well-behaved client would.
+        final_rejects = 0
+        for _ in range(100):
+            status, _, _ = client.request(
+                "POST", "/add?wait=1", nt("final")
+            )
+            if status != 429:
+                break
+            final_rejects += 1
+            time.sleep(0.05)
+        assert status == 200, status
         _, _, payload = client.request("GET", f"/query?q={MAMMAL_Q}")
         assert payload["n"] == 1 + len(accepted) + 1
         _, _, metrics = client.request("GET", "/stats")
-        assert metrics["queue"]["rejected_total"] == len(rejected)
+        assert metrics["queue"]["rejected_total"] == (
+            len(rejected) + final_rejects
+        )
         client.close()
 
 
