@@ -21,24 +21,38 @@ Parallel: --workers N (default 4) additionally measures the Inferray
          rule scheduler with N workers (rdfs-default fragment) and
          reports per-dataset throughput; --workers 1 skips it.
          --parallel-mode thread|process pins the executor substrate
-         (default: the engine's auto policy), and --modes (implied by
-         --json) adds a thread vs process vs sharded-process
-         comparison over the same workloads.
+         (default: the scheduler's cost model), and --modes (implied
+         by --json) adds an auto vs thread vs process vs
+         sharded-process comparison over the same workloads.
+Repeats: every cell is warmed up --warmup times (default 1) and timed
+         --runs times (default 3); cells report the median, and the
+         max-min spread rides along in the JSON so reports show noise.
+Scale:   --scale [smoke|full|xl] measures the executor substrates on
+         scale workloads (BSBM-10k up to BSBM-1M, LUBM-500/5000),
+         records the cost-model decision per cell, derives measured
+         sequential->thread->process crossover points, and measures
+         the persistent-pool payoff (pool kept across incremental
+         flushes vs torn down per flush).  The crossover defaults in
+         repro.core.scheduler are anchored to this section.
 JSON:    --json [PATH] additionally writes a machine-readable record
          set (default PATH: BENCH_table2.json) — one entry per cell
          with dataset, engine, backend, ruleset, seconds, n_inferred,
          plus a top-level "parallel" section with the
-         sequential-vs-parallel cells and the mean speedup, and a
-         "parallel_modes" section with the per-mode speedups.
+         sequential-vs-parallel cells and the mean speedup, a
+         "parallel_modes" section with the per-mode speedups, and —
+         under --scale — a "scale" section with the per-substrate
+         scale cells, crossovers and the pool-reuse comparison.
 Smoke:   --smoke restricts to one tiny dataset with a single run per
          cell (the CI smoke job uses --smoke --json and validates the
-         parallel section).
+         parallel section; the scale smoke job adds
+         --scale smoke --runs 3).
 Pytest:  pytest benchmarks/bench_table2_rdfs.py --benchmark-only
 """
 
 import argparse
 import json
 import statistics
+import time
 
 import pytest
 
@@ -46,6 +60,7 @@ from repro.bench.harness import run_engine
 from repro.bench.reporting import results_matrix, speedup_summary
 from repro.core.engine import InferrayEngine
 from repro.datasets.bsbm import bsbm_like
+from repro.datasets.lubm import lubm_like
 from repro.datasets.realworld import wikipedia_like, wordnet_like, yago_like
 
 FRAGMENTS = ["rho-df", "rdfs-default", "rdfs-full"]
@@ -66,7 +81,7 @@ def workloads():
     ]
 
 
-def run_table(timeout=TIMEOUT, runs=1, subset=None):
+def run_table(timeout=TIMEOUT, warmup=1, runs=3, subset=None):
     results = []
     for dataset_name, data in subset or workloads():
         for fragment in FRAGMENTS:
@@ -78,14 +93,14 @@ def run_table(timeout=TIMEOUT, runs=1, subset=None):
                         data,
                         dataset_name=dataset_name,
                         timeout_seconds=timeout,
-                        warmup=0,
+                        warmup=warmup,
                         runs=runs,
                     )
                 )
     return results
 
 
-def run_backend_table(backend, timeout=TIMEOUT, runs=1, subset=None):
+def run_backend_table(backend, timeout=TIMEOUT, warmup=1, runs=3, subset=None):
     """Inferray under the pure-Python kernels vs under ``backend``."""
     backends = ("python",) if backend == "python" else ("python", backend)
     results = []
@@ -99,7 +114,7 @@ def run_backend_table(backend, timeout=TIMEOUT, runs=1, subset=None):
                         data,
                         dataset_name=dataset_name,
                         timeout_seconds=timeout,
-                        warmup=0,
+                        warmup=warmup,
                         runs=runs,
                         engine_kwargs={"backend": kernel_backend},
                         label=kernel_backend,
@@ -110,34 +125,32 @@ def run_backend_table(backend, timeout=TIMEOUT, runs=1, subset=None):
 
 def run_parallel_comparison(
     workers, *, backend="auto", parallel_mode=None,
-    fragment="rdfs-default", timeout=TIMEOUT, runs=1, subset=None,
-    sequential_out=None
+    fragment="rdfs-default", timeout=TIMEOUT, warmup=1, runs=3,
+    subset=None, sequential_out=None
 ):
     """Inferray under workers=1 vs workers=N on each workload.
 
     Both legs run on the *same* kernel ``backend`` (the one the rest of
     the invocation measures); ``parallel_mode`` selects the executor
-    substrate for the parallel leg (None = the engine's 'auto' policy).
-    Returns the JSON-ready section: per-dataset cells with sequential /
-    parallel seconds + throughput, and the mean ``speedup`` across the
-    cells that completed (the field the CI smoke job asserts on).
+    substrate for the parallel leg (None = the scheduler's cost model
+    picks per flush, and the cell records its decision).  Returns the
+    JSON-ready section: per-dataset cells with sequential / parallel
+    seconds + throughput, and the mean ``speedup`` across the cells
+    that completed (the field the CI smoke job asserts on).
     ``sequential_out`` (an empty dict, if given) collects the measured
     sequential :class:`RunResult` per dataset so the modes comparison
     can reuse the baselines instead of re-running them.
     """
-    from repro.core.parallel import resolve_parallel_mode
     from repro.kernels import resolve_backend
 
     backend_name = resolve_backend(backend).name
-    mode_label = resolve_parallel_mode(
-        parallel_mode, backend_name=backend_name
-    )
+    mode_label = parallel_mode or "auto"
     cells = []
     speedups = []
     for dataset_name, data in subset or workloads():
         seq = run_engine(
             "inferray", fragment, data, dataset_name=dataset_name,
-            timeout_seconds=timeout, warmup=0, runs=runs,
+            timeout_seconds=timeout, warmup=warmup, runs=runs,
             engine_kwargs={"workers": 1, "backend": backend},
             label="sequential",
         )
@@ -145,7 +158,7 @@ def run_parallel_comparison(
             sequential_out[dataset_name] = seq
         par = run_engine(
             "inferray", fragment, data, dataset_name=dataset_name,
-            timeout_seconds=timeout, warmup=0, runs=runs,
+            timeout_seconds=timeout, warmup=warmup, runs=runs,
             engine_kwargs={
                 "workers": workers,
                 "backend": backend,
@@ -164,8 +177,12 @@ def run_parallel_comparison(
                 "backend": backend_name,
                 "workers": workers,
                 "parallel_mode": mode_label,
+                "parallel_mode_picked": par.parallel_mode,
+                "parallel_decision": par.parallel_decision,
                 "sequential_seconds": seq.seconds,
                 "parallel_seconds": par.seconds,
+                "sequential_spread_seconds": seq.spread_seconds,
+                "parallel_spread_seconds": par.spread_seconds,
                 "sequential_throughput": seq.throughput,
                 "parallel_throughput": par.throughput,
                 "n_inferred": par.n_inferred,
@@ -185,6 +202,9 @@ def run_parallel_comparison(
 #: The executor configurations the mode-comparison section measures:
 #: (label, engine kwargs layered on top of workers/backend).
 PARALLEL_MODE_LEGS = [
+    # The cost model's own pick — the cell records which substrate it
+    # chose, so the report shows whether auto beat the forced legs.
+    ("auto", {"parallel_mode": "auto"}),
     ("thread", {"parallel_mode": "thread"}),
     ("process", {"parallel_mode": "process"}),
     # Forced intra-rule sharding: a low split threshold makes CAX-SCO
@@ -196,9 +216,9 @@ PARALLEL_MODE_LEGS = [
 
 def run_parallel_modes_comparison(
     workers, *, backend="auto", fragment="rdfs-default", timeout=TIMEOUT,
-    runs=1, subset=None, sequential_cells=None
+    warmup=1, runs=3, subset=None, sequential_cells=None
 ):
-    """Thread vs process vs sharded-process, against sequential.
+    """Auto vs thread vs process vs sharded-process, vs sequential.
 
     One sequential baseline per dataset, then every
     :data:`PARALLEL_MODE_LEGS` configuration at ``workers=N`` on the
@@ -206,9 +226,10 @@ def run_parallel_modes_comparison(
     :class:`RunResult`, as measured by :func:`run_parallel_comparison`
     on the same subset/backend) reuses already-measured baselines
     instead of re-running them.  Returns the ``parallel_modes`` JSON
-    section: per-dataset cells (seconds + speedup per mode) and
-    per-mode mean speedups — the thread-vs-process payoff record for
-    the repo's bench trajectory.
+    section: per-dataset cells (seconds + speedup per mode, plus the
+    substrate the ``auto`` leg's cost model picked) and per-mode mean
+    speedups — the thread-vs-process payoff record for the repo's
+    bench trajectory.
     """
     from repro.kernels import resolve_backend
 
@@ -221,7 +242,7 @@ def run_parallel_modes_comparison(
         if seq is None:
             seq = run_engine(
                 "inferray", fragment, data, dataset_name=dataset_name,
-                timeout_seconds=timeout, warmup=0, runs=runs,
+                timeout_seconds=timeout, warmup=warmup, runs=runs,
                 engine_kwargs={"workers": 1, "backend": backend},
                 label="sequential",
             )
@@ -237,7 +258,7 @@ def run_parallel_modes_comparison(
         for label, extra in PARALLEL_MODE_LEGS:
             par = run_engine(
                 "inferray", fragment, data, dataset_name=dataset_name,
-                timeout_seconds=timeout, warmup=0, runs=runs,
+                timeout_seconds=timeout, warmup=warmup, runs=runs,
                 engine_kwargs={
                     "workers": workers, "backend": backend, **extra
                 },
@@ -249,8 +270,10 @@ def run_parallel_modes_comparison(
                 speedups[label].append(speedup)
             cell["modes"][label] = {
                 "seconds": par.seconds,
+                "spread_seconds": par.spread_seconds,
                 "throughput": par.throughput,
                 "speedup": speedup,
+                "picked": par.parallel_mode,
             }
         cells.append(cell)
     return {
@@ -266,7 +289,9 @@ def run_parallel_modes_comparison(
     }
 
 
-def measure_parallel_sections(args, *, backend="auto", runs=1, subset=None):
+def measure_parallel_sections(
+    args, *, backend="auto", warmup=1, runs=3, subset=None
+):
     """The seq-vs-parallel and executor-mode sections, if enabled.
 
     Shared by the engine-table and backend-comparison branches of
@@ -281,7 +306,7 @@ def measure_parallel_sections(args, *, backend="auto", runs=1, subset=None):
     sequential_cells = {}
     parallel = run_parallel_comparison(
         args.workers, backend=backend, parallel_mode=args.parallel_mode,
-        timeout=args.timeout, runs=runs, subset=subset,
+        timeout=args.timeout, warmup=warmup, runs=runs, subset=subset,
         sequential_out=sequential_cells,
     )
     _report_parallel_comparison(parallel)
@@ -289,10 +314,285 @@ def measure_parallel_sections(args, *, backend="auto", runs=1, subset=None):
     if args.modes or args.json:
         parallel_modes = run_parallel_modes_comparison(
             args.workers, backend=backend, timeout=args.timeout,
-            runs=runs, subset=subset, sequential_cells=sequential_cells,
+            warmup=warmup, runs=runs, subset=subset,
+            sequential_cells=sequential_cells,
         )
         _report_parallel_modes(parallel_modes)
     return parallel, parallel_modes
+
+
+# ----------------------------------------------------------------------
+# Scale section: substrate crossovers + persistent-pool payoff
+# ----------------------------------------------------------------------
+
+#: Scale workloads per tier, smallest first (crossover detection walks
+#: them in order).  The smoke tier is sized for CI; xl adds the
+#: paper-scale BSBM-1M row (minutes of wall time).
+SCALE_TIERS = {
+    "smoke": ("BSBM-10k",),
+    "full": ("BSBM-10k", "LUBM-500", "BSBM-100k", "LUBM-5000"),
+    "xl": ("BSBM-10k", "LUBM-500", "BSBM-100k", "LUBM-5000", "BSBM-1M"),
+}
+
+SCALE_FACTORIES = {
+    "BSBM-10k": lambda: bsbm_like(10_000),
+    "LUBM-500": lambda: lubm_like(500),
+    "BSBM-100k": lambda: bsbm_like(100_000),
+    "LUBM-5000": lambda: lubm_like(5_000),
+    "BSBM-1M": lambda: bsbm_like(1_000_000),
+}
+
+#: The substrates the scale section measures against sequential.
+SCALE_LEGS = [
+    ("auto", {"parallel_mode": "auto"}),
+    ("thread", {"parallel_mode": "thread"}),
+    ("process", {"parallel_mode": "process"}),
+]
+
+
+def _project_multicore_pick(decision, backend_name, cores=4):
+    """What the cost model would pick at ``cores`` cores.
+
+    Re-evaluates the recorded estimate against the recorded crossovers
+    (the core-count gate is the only input that differs), so a one-core
+    bench box can still report the substrate the same workload would
+    get on a multicore machine.
+    """
+    if decision is None:
+        return None
+    estimated = decision.get("estimated_pairs")
+    if estimated is None or cores < 2:
+        return None
+    if backend_name != "python":
+        if estimated < decision["thread_crossover"]:
+            return "sequential"
+        return "thread"
+    if estimated < decision["process_crossover"]:
+        return "sequential"
+    return "process"
+
+
+def run_scale_section(
+    workers, *, backend="auto", fragment="rdfs-default", tier="full",
+    timeout=TIMEOUT, warmup=1, runs=3
+):
+    """Executor substrates on scale workloads + the pool-reuse payoff.
+
+    For every tier workload: a sequential baseline, then each
+    :data:`SCALE_LEGS` substrate at ``workers=N`` — each cell records
+    median/spread/speedup and (for ``auto``) the cost model's full
+    decision.  From the cells the section derives the measured
+    crossover per substrate (the smallest workload where it beat
+    sequential; ``null`` until one does, which on a one-core box is
+    expected — the report also carries the pick the same estimate
+    would get at four cores).  Ends with
+    :func:`run_pool_reuse_comparison`, the persistent-pool half of the
+    story.
+    """
+    from repro.core.scheduler import resolve_parallel_cores
+    from repro.kernels import resolve_backend
+
+    backend_name = resolve_backend(backend).name
+    cores = resolve_parallel_cores()
+    datasets = []
+    crossovers = {label: None for label, _ in SCALE_LEGS}
+    for dataset_name in SCALE_TIERS[tier]:
+        data = SCALE_FACTORIES[dataset_name]()
+        seq = run_engine(
+            "inferray", fragment, data, dataset_name=dataset_name,
+            timeout_seconds=timeout, warmup=warmup, runs=runs,
+            engine_kwargs={"workers": 1, "backend": backend},
+            label="sequential",
+        )
+        legs = {
+            "sequential": {
+                "seconds": seq.seconds,
+                "spread_seconds": seq.spread_seconds,
+                "throughput": seq.throughput,
+            }
+        }
+        for label, extra in SCALE_LEGS:
+            par = run_engine(
+                "inferray", fragment, data, dataset_name=dataset_name,
+                timeout_seconds=timeout, warmup=warmup, runs=runs,
+                engine_kwargs={
+                    "workers": workers, "backend": backend, **extra
+                },
+                label=label,
+            )
+            speedup = None
+            if seq.seconds and par.seconds:
+                speedup = seq.seconds / par.seconds
+            legs[label] = {
+                "seconds": par.seconds,
+                "spread_seconds": par.spread_seconds,
+                "throughput": par.throughput,
+                "speedup": speedup,
+                "picked": par.parallel_mode,
+                "decision": par.parallel_decision,
+            }
+            if speedup is not None and speedup > 1.0:
+                if crossovers.get(label) is None:
+                    crossovers[label] = {
+                        "dataset": dataset_name,
+                        "n_input": seq.n_input,
+                    }
+        auto_decision = legs["auto"].get("decision")
+        datasets.append(
+            {
+                "dataset": dataset_name,
+                "n_input": seq.n_input,
+                "n_inferred": seq.n_inferred,
+                "legs": legs,
+                "projected_pick_at_4_cores": _project_multicore_pick(
+                    auto_decision, backend_name
+                ),
+            }
+        )
+    pool_reuse = run_pool_reuse_comparison(
+        workers, backend=backend, fragment=fragment, timeout=timeout,
+        warmup=warmup, runs=runs,
+    )
+    return {
+        "tier": tier,
+        "workers": workers,
+        "cores": cores,
+        "ruleset": fragment,
+        "backend": backend_name,
+        "warmup": warmup,
+        "runs": runs,
+        "datasets": datasets,
+        "measured_crossovers": crossovers,
+        "pool_reuse": pool_reuse,
+    }
+
+
+def run_pool_reuse_comparison(
+    workers, *, backend="auto", fragment="rdfs-default", timeout=TIMEOUT,
+    warmup=1, runs=3, scale=10_000, batches=6, batch_size=250
+):
+    """Persistent pool vs pool-per-flush over incremental flushes.
+
+    The Store-lifetime worker pools exist for exactly this pattern: a
+    long-lived :class:`~repro.core.store_api.Store` absorbing write
+    batches through incremental flushes.  Both legs build the same
+    BSBM base store under forced process mode, then time ``batches``
+    add+flush rounds; the *cold* leg calls ``engine.close()`` before
+    every flush (pool torn down, every shared-memory segment
+    re-exported — the pre-persistence lifecycle), the *persistent* leg
+    reuses the pool and the identity-keyed segments the way a served
+    store does.  ``speedup`` is cold/persistent — the cell the scale
+    gate expects to clear 1 even on one core, since pool spawn and
+    re-export costs are pure overhead regardless of parallelism.
+    """
+    from repro.core.parallel import ProcessModeUnavailable, process_mode_supported
+    from repro.core.store_api import Store
+
+    if workers <= 1 or not process_mode_supported():
+        return None
+    data = list(bsbm_like(scale))
+    delta = batches * batch_size
+    base, tail = data[:-delta], data[-delta:]
+    batch_list = [
+        tail[i * batch_size:(i + 1) * batch_size] for i in range(batches)
+    ]
+
+    def once(cold):
+        with Store(
+            base, ruleset=fragment, backend=backend, workers=workers,
+            parallel_mode="process", timeout_seconds=timeout,
+        ) as store:
+            store.materialize()  # initial full build (untimed)
+            started = time.perf_counter()
+            for batch in batch_list:
+                if cold:
+                    store.engine.close()  # next flush rebuilds the pool
+                store.add(batch)
+                store.materialize()
+            elapsed = time.perf_counter() - started
+            session = store.engine.scheduler.process_session
+            segments = session.export_stats() if session is not None else {}
+        return elapsed, segments
+
+    def leg(cold):
+        segments = {}
+        for _ in range(warmup):
+            once(cold)
+        timings = []
+        for _ in range(runs):
+            elapsed, segments = once(cold)
+            timings.append(elapsed)
+        return (
+            statistics.median(timings),
+            max(timings) - min(timings),
+            segments,
+        )
+
+    try:
+        persistent_seconds, persistent_spread, segments = leg(False)
+        cold_seconds, cold_spread, _ = leg(True)
+    except ProcessModeUnavailable as error:
+        print(f"pool-reuse comparison skipped: {error}")
+        return None
+    return {
+        "dataset": f"BSBM-{scale // 1000}k",
+        "ruleset": fragment,
+        "parallel_mode": "process",
+        "workers": workers,
+        "batches": batches,
+        "batch_size": batch_size,
+        "persistent_seconds": persistent_seconds,
+        "persistent_spread_seconds": persistent_spread,
+        "cold_seconds": cold_seconds,
+        "cold_spread_seconds": cold_spread,
+        "speedup": cold_seconds / persistent_seconds,
+        "segments_created": segments.get("segments_created"),
+        "segments_reused": segments.get("segments_reused"),
+    }
+
+
+def _report_scale(section):
+    print(
+        f"\nScale section ({section['tier']} tier, {section['ruleset']}, "
+        f"{section['backend']} kernels, {section['workers']} workers on "
+        f"{section['cores']} core(s); median of {section['runs']} run(s))"
+    )
+    for row in section["datasets"]:
+        legs = row["legs"]
+        seq = legs["sequential"]["seconds"]
+        parts = [
+            f"sequential: {seq:.3f}s" if seq is not None
+            else "sequential: timeout"
+        ]
+        for label, _ in SCALE_LEGS:
+            leg = legs[label]
+            if leg["speedup"] is None:
+                parts.append(f"{label}: timeout")
+                continue
+            text = f"{label}: {leg['speedup']:.2f}x"
+            if label == "auto" and leg.get("picked"):
+                text += f" (picked {leg['picked']})"
+            parts.append(text)
+        print(f"  {row['dataset']} ({row['n_input']:,} triples): "
+              + ", ".join(parts))
+        projected = row.get("projected_pick_at_4_cores")
+        if projected and projected != legs["auto"].get("picked"):
+            print(f"    at 4 cores the cost model would pick: {projected}")
+    for label, hit in section["measured_crossovers"].items():
+        where = (
+            f"{hit['dataset']} ({hit['n_input']:,} triples)"
+            if hit else "not reached"
+        )
+        print(f"  crossover[{label}]: {where}")
+    reuse = section.get("pool_reuse")
+    if reuse:
+        print(
+            f"  pool reuse ({reuse['dataset']}, {reuse['batches']} "
+            f"incremental flushes): persistent "
+            f"{reuse['persistent_seconds']:.3f}s vs cold "
+            f"{reuse['cold_seconds']:.3f}s -> {reuse['speedup']:.2f}x "
+            f"(segments reused: {reuse['segments_reused']})"
+        )
 
 
 def _report_parallel_modes(section):
@@ -398,7 +698,8 @@ def _report_backend_comparison(backend, results, timeout=TIMEOUT):
 
 
 def write_json_report(
-    path, results, *, mode, timeout, parallel=None, parallel_modes=None
+    path, results, *, mode, timeout, parallel=None, parallel_modes=None,
+    scale=None,
 ):
     """Write the cell records as machine-readable JSON (CI artifact).
 
@@ -411,8 +712,10 @@ def write_json_report(
     ``"parallel"`` section — the CI smoke job fails when its
     ``speedup`` field is absent — and ``parallel_modes`` (from
     :func:`run_parallel_modes_comparison`) as the top-level
-    ``"parallel_modes"`` section, schema-checked against the committed
-    baseline ``BENCH_table2.json``.
+    ``"parallel_modes"`` section, and ``scale`` (from
+    :func:`run_scale_section`) as the top-level ``"scale"`` section —
+    all schema-checked against the committed baseline
+    ``BENCH_table2.json``.
     """
     from repro.kernels import resolve_backend
 
@@ -429,6 +732,7 @@ def write_json_report(
                     auto_backend if result.engine == "inferray" else None
                 ),
                 "seconds": result.seconds,
+                "spread_seconds": result.spread_seconds,
                 "timeout": result.seconds is None,
                 "n_input": result.n_input,
                 "n_inferred": result.n_inferred,
@@ -446,6 +750,8 @@ def write_json_report(
         payload["parallel"] = parallel
     if parallel_modes is not None:
         payload["parallel_modes"] = parallel_modes
+    if scale is not None:
+        payload["scale"] = scale
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -462,8 +768,9 @@ def main(argv=None):
         "one) instead of the engine-vs-engine table",
     )
     parser.add_argument(
-        "--timeout", type=float, default=TIMEOUT,
-        help=f"per-run timeout in seconds (default {TIMEOUT:.0f})",
+        "--timeout", type=float, default=None,
+        help=f"per-run timeout in seconds (default {TIMEOUT:.0f}; "
+        "30 under --smoke unless given)",
     )
     parser.add_argument(
         "--json",
@@ -493,24 +800,58 @@ def main(argv=None):
         choices=("auto", "thread", "process"),
         default=None,
         help="executor substrate for the seq-vs-parallel comparison "
-        "(default: the engine's auto policy — process for python "
-        "kernels, threads for numpy)",
+        "(default: the scheduler's cost model picks per flush)",
     )
     parser.add_argument(
         "--modes",
         action="store_true",
         default=None,
-        help="also measure thread vs process vs sharded-process at "
-        "--workers (the parallel_modes report section; implied by "
-        "--json)",
+        help="also measure auto vs thread vs process vs "
+        "sharded-process at --workers (the parallel_modes report "
+        "section; implied by --json)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        metavar="K",
+        help="untimed warm-up runs per cell (default 1; 0 under "
+        "--smoke unless given)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        metavar="K",
+        help="timed runs per cell, reported as the median (default 3; "
+        "1 under --smoke unless given)",
+    )
+    parser.add_argument(
+        "--scale",
+        nargs="?",
+        const="full",
+        default=None,
+        choices=tuple(SCALE_TIERS),
+        metavar="TIER",
+        help="also measure the executor substrates on scale workloads "
+        "(smoke: BSBM-10k; full: up to LUBM-5000; xl: adds BSBM-1M), "
+        "derive the measured crossovers and the persistent-pool "
+        "payoff (the 'scale' report section)",
     )
     args = parser.parse_args(argv)
 
     subset = None
-    runs = 1
+    warmup = args.warmup if args.warmup is not None else (
+        0 if args.smoke else 1
+    )
+    runs = args.runs if args.runs is not None else (1 if args.smoke else 3)
+    explicit_timeout = args.timeout is not None
+    if not explicit_timeout:
+        args.timeout = TIMEOUT
     if args.smoke:
         subset = [("BSBM-300", bsbm_like(300))]
-        args.timeout = min(args.timeout, 30.0)
+        if not explicit_timeout:
+            args.timeout = min(args.timeout, 30.0)
 
     if args.backend:
         from repro.kernels import KernelUnavailableError, numpy_available
@@ -520,7 +861,8 @@ def main(argv=None):
             backend = "numpy" if numpy_available() else "python"
         try:
             results = run_backend_table(
-                backend, timeout=args.timeout, runs=runs, subset=subset
+                backend, timeout=args.timeout, warmup=warmup, runs=runs,
+                subset=subset,
             )
         except KernelUnavailableError as error:
             import sys
@@ -538,16 +880,26 @@ def main(argv=None):
         # Seq-vs-parallel on the backend this invocation measured
         # (availability was proven by the table run above).
         parallel, parallel_modes = measure_parallel_sections(
-            args, backend=backend, runs=runs, subset=subset
+            args, backend=backend, warmup=warmup, runs=runs, subset=subset
         )
+        scale = None
+        if args.scale:
+            scale = run_scale_section(
+                args.workers, backend=backend, tier=args.scale,
+                timeout=args.timeout, warmup=warmup, runs=runs,
+            )
+            _report_scale(scale)
         if args.json:
             write_json_report(
                 args.json, results, mode="backends", timeout=args.timeout,
                 parallel=parallel, parallel_modes=parallel_modes,
+                scale=scale,
             )
         return
 
-    results = run_table(timeout=args.timeout, runs=runs, subset=subset)
+    results = run_table(
+        timeout=args.timeout, warmup=warmup, runs=runs, subset=subset
+    )
     print(
         "Table 2 — RDFS flavours, execution time in ms "
         f"('–' = timeout of {args.timeout:.0f}s; * = synthetic stand-in)"
@@ -557,12 +909,19 @@ def main(argv=None):
     for line in speedup_summary(results):
         print(" ", line)
     parallel, parallel_modes = measure_parallel_sections(
-        args, runs=runs, subset=subset
+        args, warmup=warmup, runs=runs, subset=subset
     )
+    scale = None
+    if args.scale:
+        scale = run_scale_section(
+            args.workers, tier=args.scale, timeout=args.timeout,
+            warmup=warmup, runs=runs,
+        )
+        _report_scale(scale)
     if args.json:
         write_json_report(
             args.json, results, mode="engines", timeout=args.timeout,
-            parallel=parallel, parallel_modes=parallel_modes,
+            parallel=parallel, parallel_modes=parallel_modes, scale=scale,
         )
 
 

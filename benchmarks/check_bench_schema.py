@@ -66,9 +66,16 @@ def _normalize(paths):
 
 
 def _dynamic_key(path):
-    """Paths keyed by data-dependent names (mode labels, datasets) are
-    compared per-section, not literally."""
-    return ".modes." in path or ".cells[*].modes" in path
+    """Paths keyed by data-dependent names (mode labels, datasets) or
+    whose type legitimately varies between environments (a recorded
+    decision is null on timeout, a crossover is null until reached)
+    are compared per-section, not literally."""
+    return (
+        ".modes." in path
+        or ".cells[*].modes" in path
+        or ".parallel_decision" in path
+        or path.startswith("$.scale")
+    )
 
 
 def _check_latency_block(block, context):
@@ -193,7 +200,9 @@ def check_structure(report):
     modes = report["parallel_modes"]
     for key in ("workers", "ruleset", "backend", "modes", "speedups", "cells"):
         assert key in modes, (key, sorted(modes))
-    assert set(modes["modes"]) >= {"thread", "process"}, modes["modes"]
+    assert set(modes["modes"]) >= {"auto", "thread", "process"}, (
+        modes["modes"]
+    )
     assert set(modes["speedups"]) == set(modes["modes"]), modes["speedups"]
     assert modes["cells"], "no parallel_modes cells"
     for cell in modes["cells"]:
@@ -201,7 +210,104 @@ def check_structure(report):
         for label, leg in cell["modes"].items():
             for key in ("seconds", "throughput", "speedup"):
                 assert key in leg, (label, key, leg)
+
+    if "scale" in report:
+        check_scale_structure(report["scale"])
     return len(results)
+
+
+#: When auto picks a parallel substrate, it must not run more than
+#: this much slower than sequential — beyond it the cost model chose
+#: a substrate whose overhead it should have predicted (e.g. process
+#: at ~0.5x on small inputs).
+AUTO_PARITY_TOLERANCE = 1.35
+
+#: When auto picks 'sequential' the auto and sequential legs execute
+#: the same code path, so their ratio measures only scheduler overhead
+#: plus machine noise (shared CI runners included) — the bound is a
+#: loose sanity check, not a mispick detector.
+AUTO_NOISE_TOLERANCE = 2.0
+
+
+def check_scale_structure(scale):
+    """Gates for the scale section (crossovers + persistent pools).
+
+    Structural checks are unconditional; the throughput gates are
+    conditional on the measured core count, because parallel substrates
+    cannot beat sequential on one core — there the gate is that the
+    cost model *knew* that (picked sequential, stayed at parity), plus
+    the core-independent persistent-pool speedup.
+    """
+    for key in (
+        "tier", "workers", "cores", "ruleset", "backend", "warmup",
+        "runs", "datasets", "measured_crossovers", "pool_reuse",
+    ):
+        assert key in scale, (key, sorted(scale))
+    assert scale["workers"] >= 2, scale["workers"]
+    assert scale["runs"] >= 3, (
+        "scale section needs >= 3 timed runs for a stable median",
+        scale["runs"],
+    )
+    assert scale["datasets"], "no scale datasets measured"
+
+    any_parallel_win = False
+    for row in scale["datasets"]:
+        for key in ("dataset", "n_input", "legs"):
+            assert key in row, (key, sorted(row))
+        legs = row["legs"]
+        assert set(legs) >= {"sequential", "auto", "thread", "process"}, (
+            row["dataset"], sorted(legs),
+        )
+        seq = legs["sequential"]["seconds"]
+        auto = legs["auto"]
+        decision = auto["decision"]
+        assert decision is not None, (row["dataset"], "auto cell timed out")
+        assert decision["mode"] == auto["picked"], (row["dataset"], auto)
+        assert decision["requested"] == "auto", decision
+        for label in ("auto", "thread", "process"):
+            speedup = legs[label].get("speedup")
+            if speedup is not None and speedup > 1.0:
+                any_parallel_win = True
+        if seq is not None and auto["seconds"] is not None:
+            ratio = auto["seconds"] / seq
+            tolerance = (
+                AUTO_NOISE_TOLERANCE
+                if auto["picked"] == "sequential"
+                else AUTO_PARITY_TOLERANCE
+            )
+            assert ratio <= tolerance, (
+                f"auto picked {auto['picked']!r} on {row['dataset']} and "
+                f"ran {ratio:.2f}x slower than sequential — the cost "
+                f"model mispicked"
+            )
+        if scale["cores"] < 2:
+            assert auto["picked"] == "sequential", (
+                f"auto picked {auto['picked']!r} on {row['dataset']} "
+                f"with {scale['cores']} core(s); no substrate can pay "
+                f"there"
+            )
+
+    reuse = scale["pool_reuse"]
+    if reuse is not None:
+        for key in (
+            "persistent_seconds", "cold_seconds", "speedup",
+            "segments_reused", "batches",
+        ):
+            assert key in reuse, (key, sorted(reuse))
+        assert reuse["speedup"] > 1.0, (
+            "persistent pool not faster than pool-per-flush",
+            reuse,
+        )
+        assert reuse["segments_reused"], (
+            "persistent pool reused no shared-memory segments",
+            reuse,
+        )
+        any_parallel_win = True
+    if scale["cores"] >= 2:
+        assert any_parallel_win, (
+            "multicore box but every parallel scale cell has "
+            "speedup <= 1 and no pool-reuse win"
+        )
 
 
 def check_against_baseline(report, baseline):
@@ -282,6 +388,22 @@ def main(argv=None):
         f"{report['parallel']['workers']} workers "
         f"({report['parallel']['parallel_mode']}); modes — {summary}"
     )
+    if "scale" in report:
+        scale = report["scale"]
+        reuse = scale["pool_reuse"]
+        reuse_text = (
+            f"pool reuse {reuse['speedup']:.2f}x"
+            if reuse is not None else "pool reuse skipped"
+        )
+        print(
+            f"    scale ({scale['tier']}, {len(scale['datasets'])} "
+            f"dataset(s) on {scale['cores']} core(s)): auto picks "
+            + ", ".join(
+                f"{row['dataset']}={row['legs']['auto']['picked']}"
+                for row in scale["datasets"]
+            )
+            + f"; {reuse_text}"
+        )
     if added:
         print(f"note: fields added vs baseline: {sorted(added)}")
     return 0

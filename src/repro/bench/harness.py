@@ -1,10 +1,14 @@
 """Benchmark harness: timing, engine runners and table assembly.
 
 Mirrors the paper's measurement protocol at laptop scale: each
-measurement is repeated (default one warm-up + three timed runs,
-averaged — the paper uses two warm-ups + five runs) and every engine
-run carries a timeout; timed-out cells are reported as ``None`` and
-printed as '–', the way the paper's tables mark OWLIM/RDFox timeouts.
+measurement is repeated (default one warm-up + three timed runs — the
+paper uses two warm-ups + five runs) and summarized by the **median**
+(robust to one noisy run on a shared machine; the mean is what a
+single GC pause or page-cache miss skews).  The raw timings and their
+spread ride along on every result so reports can show the noise.
+Every engine run carries a timeout; timed-out cells are reported as
+``None`` and printed as '–', the way the paper's tables mark
+OWLIM/RDFox timeouts.
 """
 
 from __future__ import annotations
@@ -46,18 +50,29 @@ class RunResult:
     engine: str
     dataset: str
     ruleset: str
-    seconds: Optional[float]  # None = timeout
+    seconds: Optional[float]  # median across runs; None = timeout
     n_input: int = 0
     n_inferred: int = 0
     n_total: int = 0
     runs: List[float] = field(default_factory=list)
+    #: Executor substrate the (Inferray) engine ran on, and the full
+    #: recorded cost-model decision — None for baseline engines.
+    parallel_mode: Optional[str] = None
+    parallel_decision: Optional[Dict] = None
 
     @property
     def milliseconds(self) -> Optional[float]:
-        """Mean wall time in ms, or None on timeout."""
+        """Median wall time in ms, or None on timeout."""
         if self.seconds is None:
             return None
         return self.seconds * 1000.0
+
+    @property
+    def spread_seconds(self) -> Optional[float]:
+        """Max-min spread across the timed runs (None on timeout)."""
+        if self.seconds is None or not self.runs:
+            return None
+        return max(self.runs) - min(self.runs)
 
     @property
     def throughput(self) -> Optional[float]:
@@ -79,10 +94,11 @@ def measure(
     warmup: int = 1,
     runs: int = 3,
 ) -> Tuple[Optional[float], Dict[str, int], List[float]]:
-    """Run a measurement callable with warm-ups; returns (mean, info, runs).
+    """Run a measurement callable with warm-ups; returns
+    (median, info, runs).
 
     ``callable_once`` performs one full run and returns an info dict; a
-    :class:`MaterializationTimeout` anywhere yields mean ``None``.
+    :class:`MaterializationTimeout` anywhere yields median ``None``.
     """
     info: Dict[str, int] = {}
     try:
@@ -95,7 +111,7 @@ def measure(
             timings.append(time.perf_counter() - started)
     except MaterializationTimeout:
         return None, info, []
-    return statistics.fmean(timings), info, timings
+    return statistics.median(timings), info, timings
 
 
 def run_engine(
@@ -129,18 +145,27 @@ def run_engine(
     def once() -> Dict[str, int]:
         engine = factory(ruleset, **kwargs)
         engine.load_triples(data)
-        started = time.perf_counter()
-        engine.materialize(timeout_seconds=timeout_seconds)
-        elapsed = time.perf_counter() - started
+        try:
+            started = time.perf_counter()
+            engine.materialize(timeout_seconds=timeout_seconds)
+            elapsed = time.perf_counter() - started
+        finally:
+            close = getattr(engine, "close", None)
+            if close is not None:  # release persistent worker pools
+                close()
         stats = engine.stats  # same shape on Inferray and baselines
         return {
             "n_input": stats.n_input,
             "n_inferred": stats.n_inferred,
             "n_total": stats.n_total,
             "seconds": elapsed,
+            "parallel_mode": getattr(stats, "parallel_mode", None),
+            "parallel_decision": getattr(
+                stats, "parallel_decision", None
+            ),
         }
 
-    mean_seconds: Optional[float]
+    median_seconds: Optional[float]
     try:
         for _ in range(warmup):
             outcome = once()
@@ -148,7 +173,7 @@ def run_engine(
         for _ in range(runs):
             outcome = once()
             timings.append(outcome["seconds"])
-        mean_seconds = statistics.fmean(timings)
+        median_seconds = statistics.median(timings)
     except MaterializationTimeout:
         return RunResult(
             engine=label or engine_name,
@@ -161,11 +186,13 @@ def run_engine(
         engine=label or engine_name,
         dataset=dataset_name,
         ruleset=ruleset,
-        seconds=mean_seconds,
+        seconds=median_seconds,
         n_input=outcome.get("n_input", len(data)),
         n_inferred=outcome.get("n_inferred", 0),
         n_total=outcome.get("n_total", 0),
         runs=timings,
+        parallel_mode=outcome.get("parallel_mode"),
+        parallel_decision=outcome.get("parallel_decision"),
     )
 
 

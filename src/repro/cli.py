@@ -58,9 +58,9 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="executor for --workers > 1: 'process' runs shared-memory "
         "worker processes (scales the pure-Python backend past the "
-        "GIL), 'thread' a thread pool; 'auto' picks process for the "
-        "python backend and threads for numpy "
-        "(default: $REPRO_PARALLEL_MODE or auto)",
+        "GIL), 'thread' a thread pool; 'auto' lets the scheduler's "
+        "cost model pick sequential/thread/process per flush from the "
+        "estimated work (default: $REPRO_PARALLEL_MODE or auto)",
     )
 
 
@@ -274,7 +274,7 @@ def _run_infer(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    store = Store(
+    with Store(
         ruleset=args.ruleset,
         algorithm=args.algorithm,
         backend=args.backend,
@@ -282,20 +282,23 @@ def _run_infer(args: argparse.Namespace) -> int:
         workers=args.workers,
         parallel_mode=args.parallel_mode,
         materialize=args.materialize,
-    )
-    loaded = store.add_file(args.input)
-    store.materialize()
-    triples = store.inferred() if args.inferred_only else store.triples()
-    if args.output:
-        count = write_file(triples, args.output)
-        print(
-            f"{args.input}: {loaded} asserted -> {store.n_triples} total; "
-            f"wrote {count} triples to {args.output}",
-            file=sys.stderr,
+    ) as store:
+        loaded = store.add_file(args.input)
+        store.materialize()
+        triples = (
+            store.inferred() if args.inferred_only else store.triples()
         )
-    else:
-        for triple in triples:
-            print(triple.n3())
+        if args.output:
+            count = write_file(triples, args.output)
+            print(
+                f"{args.input}: {loaded} asserted -> "
+                f"{store.n_triples} total; "
+                f"wrote {count} triples to {args.output}",
+                file=sys.stderr,
+            )
+        else:
+            for triple in triples:
+                print(triple.n3())
     return 0
 
 
@@ -308,7 +311,10 @@ def _run_stats(args: argparse.Namespace) -> int:
         materialize=args.materialize,
     )
     loaded = store.add_file(args.input)
-    stats = store.materialize()
+    try:
+        stats = store.materialize()
+    finally:
+        store.close()
     print(f"kernel backend:    {store.engine.kernels.name}")
     print(f"materialize mode:  {store.materialize_mode} "
           f"({len(store.absorbed_rules)} absorbed rule(s))")
@@ -316,6 +322,10 @@ def _run_stats(args: argparse.Namespace) -> int:
         print(f"hybrid fallback:   {store.hybrid_fallback}")
     print(f"workers:           {stats.workers} "
           f"({stats.parallel_mode}, {stats.n_waves} scheduler wave(s))")
+    if stats.parallel_decision is not None:
+        print(f"executor pick:     {stats.parallel_decision['reason']}")
+    if stats.parallel_fallback:
+        print(f"executor fallback: {stats.parallel_fallback}")
     # In hybrid mode the entailed closure is larger than what is
     # stored: report the entailed counts (what queries answer), plus
     # the reduced resident closure.
@@ -371,8 +381,11 @@ def _run_save(args: argparse.Namespace) -> int:
         materialize=args.materialize,
     )
     loaded = store.add_file(args.input)
-    stats = store.materialize()
-    written = store.save(args.output)
+    try:
+        stats = store.materialize()
+        written = store.save(args.output)
+    finally:
+        store.close()
     print(
         f"{args.input}: {loaded} asserted -> {store.n_triples} total "
         f"({store.n_triples - stats.n_input} inferred); wrote "
@@ -398,25 +411,33 @@ def _run_load(args: argparse.Namespace) -> int:
         load_options["materialize"] = args.materialize
     store = Store.load(args.input, **load_options)
     if args.output:
-        triples = (
-            store.inferred() if args.inferred_only else store.triples()
-        )
-        count = write_file(triples, args.output)
+        try:
+            triples = (
+                store.inferred() if args.inferred_only else store.triples()
+            )
+            count = write_file(triples, args.output)
+        finally:
+            store.close()
         print(
             f"{args.input}: wrote {count} triples to {args.output}",
             file=sys.stderr,
         )
         return 0
-    n_asserted = len(store.asserted())
+    try:
+        n_asserted = len(store.asserted())
+        n_triples = store.n_triples
+        memory = store.memory_bytes()
+    finally:
+        store.close()
     print(f"store file:        {args.input}")
     print(f"ruleset:           {store.engine.ruleset_name}")
     print(f"materialize mode:  {store.materialize_mode} "
           f"({len(store.absorbed_rules)} absorbed rule(s))")
     print(f"kernel backend:    {store.engine.kernels.name}")
-    print(f"total triples:     {store.n_triples}")
+    print(f"total triples:     {n_triples}")
     print(f"asserted triples:  {n_asserted}")
-    print(f"inferred triples:  {store.n_triples - n_asserted}")
-    print(f"memory:            {store.memory_bytes():,} bytes")
+    print(f"inferred triples:  {n_triples - n_asserted}")
+    print(f"memory:            {memory:,} bytes")
     print(f"materialized:      {store.engine.is_materialized}")
     return 0
 
@@ -433,7 +454,10 @@ def _run_query(args: argparse.Namespace) -> int:
         for var in pattern.variables():
             if var not in variables:
                 variables.append(var)
-    solutions = store.query(patterns)
+    try:
+        solutions = store.query(patterns)
+    finally:
+        store.close()
     if args.limit is not None:
         solutions = solutions[: args.limit]
     if variables:

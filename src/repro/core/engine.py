@@ -67,8 +67,16 @@ class MaterializationStats:
     per_rule: Dict[str, int] = field(default_factory=dict)
     #: Workers the rule scheduler ran with (1 = sequential).
     workers: int = 1
-    #: Executor substrate: 'sequential', 'thread' or 'process'.
+    #: Executor substrate the run *actually* used: 'sequential',
+    #: 'thread' or 'process' (recorded from the resolved decision, so a
+    #: mid-session fallback is reflected here, not the request).
     parallel_mode: str = "sequential"
+    #: The scheduler's recorded executor pick for this run (see
+    #: :class:`repro.core.scheduler.ExecutorDecision`), as a plain dict.
+    parallel_decision: Optional[dict] = None
+    #: Why a picked process substrate degraded to threads (None if the
+    #: run used the substrate it picked) — mirrors ``hybrid_fallback``.
+    parallel_fallback: Optional[str] = None
     #: Waves in the scheduler's dependency stratification.
     n_waves: int = 0
     #: Rules that were split into key-range shards, with the largest
@@ -138,9 +146,10 @@ class InferrayEngine:
         Executor substrate for ``workers > 1``: ``'thread'``,
         ``'process'`` (shared-memory worker processes — the mode that
         scales the pure-Python backend past the GIL) or ``'auto'``
-        (process for the python backend, threads for numpy).  ``None``
-        (default) reads ``$REPRO_PARALLEL_MODE``, falling back to
-        ``'auto'``.
+        (the scheduler's cost model picks sequential/thread/process
+        per flush from the estimated work; see
+        :meth:`ParallelRuleScheduler.decide`).  ``None`` (default)
+        reads ``$REPRO_PARALLEL_MODE``, falling back to ``'auto'``.
     split_threshold:
         Estimated join-input pairs above which one rule firing is
         split into key-range shards that run as independent scheduler
@@ -321,10 +330,16 @@ class InferrayEngine:
         iteration = 0
 
         # Lines 4-8: fixed point, rules fired through the wave scheduler.
-        with self.scheduler.session() as executor:
-            # Re-read after session start: an auto-derived process mode
-            # may have fallen back to threads.
-            stats.parallel_mode = self.parallel_mode
+        # The executor pick is decided up front from the committed
+        # snapshot; session() may downgrade the decision in place (a
+        # picked process substrate that cannot start degrades to
+        # threads), so the stats read it *after* the session is live —
+        # they record what the run actually used.
+        decision = self.scheduler.decide(self.main, new)
+        with self.scheduler.session(decision) as executor:
+            stats.parallel_mode = decision.mode
+            stats.parallel_fallback = decision.fallback
+            stats.parallel_decision = decision.as_dict()
             while new:
                 iteration += 1
                 if iteration > self.max_iterations:
@@ -532,8 +547,11 @@ class InferrayEngine:
 
         new = self.main
         iteration = 0
-        with scheduler.session() as executor:
-            stats.parallel_mode = scheduler.effective_mode
+        decision = scheduler.decide(self.main, new)
+        with scheduler.session(decision) as executor:
+            stats.parallel_mode = decision.mode
+            stats.parallel_fallback = decision.fallback
+            stats.parallel_decision = decision.as_dict()
             while new:
                 iteration += 1
                 if iteration > self.max_iterations:
@@ -664,9 +682,23 @@ class InferrayEngine:
 
     @property
     def parallel_mode(self) -> str:
-        """The scheduler's effective executor substrate
-        ('sequential', 'thread' or 'process')."""
+        """The scheduler's effective executor substrate: 'sequential',
+        'thread', 'process', or 'auto' before the first cost-model
+        decision has been made."""
         return self.scheduler.effective_mode
+
+    def close(self) -> None:
+        """Release persistent worker pools and shared-memory segments.
+
+        Idempotent, and the engine stays usable — the next parallel
+        materialization lazily restarts its pool.  Dropping the last
+        reference to an unclosed engine also reaps the pools (the
+        scheduler registers a ``weakref.finalize``), but explicit close
+        is deterministic and is what ``Store.close()`` calls.
+        """
+        self.scheduler.close()
+        if self._reduced_scheduler is not None:
+            self._reduced_scheduler.close()
 
     def _accumulate_outcome(self, stats, outcome) -> None:
         """Fold one scheduled iteration's observability into ``stats``."""
@@ -766,6 +798,14 @@ class InferrayEngine:
         """
         self.dictionary = dictionary
         self.vocab = Vocab(dictionary)
+        # Persistent worker pools carry the vocabulary they were
+        # initialized with; adopting a new dictionary invalidates them,
+        # so recycle the pools (they restart lazily with the new vocab).
+        self.scheduler.vocab = self.vocab
+        self.scheduler.close()
+        if self._reduced_scheduler is not None:
+            self._reduced_scheduler.vocab = self.vocab
+            self._reduced_scheduler.close()
         self.main = TripleStore(
             algorithm=self.algorithm,
             tracer=self.tracer,
@@ -848,8 +888,14 @@ class InferrayEngine:
         new = self.main.merge_inferred(seed)
 
         iteration = 1  # start past the θ pre-pass skip: deltas must close
-        with self.scheduler.session() as executor:
-            stats.parallel_mode = self.parallel_mode
+        # Decide *after* the delta merge: the estimate sees the real
+        # (main, delta) shapes, so a small increment on a huge store
+        # still picks the cheapest substrate for the delta's work.
+        decision = self.scheduler.decide(self.main, new)
+        with self.scheduler.session(decision) as executor:
+            stats.parallel_mode = decision.mode
+            stats.parallel_fallback = decision.fallback
+            stats.parallel_decision = decision.as_dict()
             while new:
                 iteration += 1
                 if iteration > self.max_iterations:

@@ -108,25 +108,41 @@ def process_mode_supported() -> bool:
 def resolve_parallel_mode(
     mode: Optional[str],
     *,
-    backend_name: str,
+    backend_name: Optional[str] = None,
 ) -> str:
-    """Normalize a ``parallel_mode`` request to ``thread``/``process``.
+    """Normalize a ``parallel_mode`` request.
 
     ``None`` reads :data:`PARALLEL_MODE_ENV` (defaulting to ``auto``);
-    ``auto`` resolves to ``process`` on the pure-Python kernel backend
-    (where threads are GIL-serialized) and ``thread`` on vectorized
-    backends (whose kernels release the GIL and skip the shared-memory
-    export).  The caller applies the mode only when ``workers > 1``.
+    an unknown value from the environment warns and falls back to
+    ``auto`` (matching ``REPRO_WORKERS``' forgiving parse), while an
+    unknown value passed explicitly raises.  When ``backend_name`` is
+    given, ``auto`` is eagerly resolved with the legacy backend
+    dispatch — ``process`` on the pure-Python kernel backend (where
+    threads are GIL-serialized), ``thread`` on vectorized backends;
+    without it ``auto`` is returned unresolved so the caller's cost
+    model can pick per materialization.  The caller applies the mode
+    only when ``workers > 1``.
     """
+    from_env = False
     if mode is None:
         mode = os.environ.get(PARALLEL_MODE_ENV, "").strip().lower() or "auto"
+        from_env = True
     mode = mode.lower()
     if mode not in PARALLEL_MODES:
-        raise ValueError(
-            f"unknown parallel mode {mode!r}; expected one of "
-            f"{PARALLEL_MODES}"
-        )
-    if mode == "auto":
+        if from_env:
+            warnings.warn(
+                f"{PARALLEL_MODE_ENV}={mode!r} is not one of "
+                f"{PARALLEL_MODES}; using 'auto'",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            mode = "auto"
+        else:
+            raise ValueError(
+                f"unknown parallel mode {mode!r}; expected one of "
+                f"{PARALLEL_MODES}"
+            )
+    if mode == "auto" and backend_name is not None:
         if backend_name == "python" and process_mode_supported():
             return "process"
         return "thread"
@@ -155,6 +171,14 @@ def resolve_split_threshold(threshold: Optional[int]) -> int:
                 stacklevel=2,
             )
             return DEFAULT_SPLIT_THRESHOLD
+        if threshold < 0:
+            warnings.warn(
+                f"{SPLIT_THRESHOLD_ENV}={raw!r} is negative; treating "
+                f"as 0 (splitting disabled)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
     return max(0, int(threshold))
 
 
@@ -276,6 +300,11 @@ class SharedStoreExporter:
     def __init__(self) -> None:
         #: property id → (exported array object, segment, n_values)
         self._tables: Dict[int, Tuple[object, object, int]] = {}
+        #: Lifetime counters (observability: pool-persistence tests and
+        #: the serving stats endpoint read these to prove segments are
+        #: reused across incremental flushes, not re-copied).
+        self.segments_created = 0
+        self.segments_reused = 0
 
     def export(self, store: TripleStore) -> List[TableManifest]:
         manifest: List[TableManifest] = []
@@ -285,6 +314,7 @@ class SharedStoreExporter:
             cached = self._tables.get(property_id)
             if cached is not None and cached[0] is flat:
                 _, shm, n_values = cached
+                self.segments_reused += 1
             else:
                 if cached is not None:
                     _release_segment(cached[1])
@@ -293,6 +323,7 @@ class SharedStoreExporter:
                 shm.buf[: len(data)] = data
                 n_values = len(flat)
                 self._tables[property_id] = (flat, shm, n_values)
+                self.segments_created += 1
             manifest.append((property_id, shm.name, n_values))
         for property_id in list(self._tables):
             if property_id not in live:
@@ -540,13 +571,16 @@ def _worker_fire(
 # The parent-side session
 # ----------------------------------------------------------------------
 class ProcessSession:
-    """One materialization run's process pool + shared-memory mirrors.
+    """A process pool + shared-memory mirrors for rule firing.
 
-    Created by the scheduler's ``session()`` in process mode; the
-    scheduler exports each iteration's ``(main, new)`` snapshot once,
-    submits ``(rule, shard)`` tasks, and absorbs the returned segments
-    in deterministic order.  ``shutdown()`` joins the workers and
-    unlinks every live segment.
+    Created lazily by the scheduler and kept alive for the Store's
+    lifetime: the scheduler exports each iteration's ``(main, new)``
+    snapshot once (identity-keyed segment reuse makes re-exports across
+    incremental flushes track the delta, not the store size), submits
+    ``(rule, shard)`` tasks, and absorbs the returned segments in
+    deterministic order.  ``shutdown()`` joins the workers and unlinks
+    every live segment; :attr:`broken` reports a dead pool (worker
+    killed) so the owner can rebuild instead of reusing it.
     """
 
     mode = "process"
@@ -628,6 +662,25 @@ class ProcessSession:
             iteration,
             theta_prepass_done,
         )
+
+    @property
+    def broken(self) -> bool:
+        """Whether the underlying pool has died (e.g. a worker was
+        killed) and the session must be rebuilt before reuse."""
+        return bool(getattr(self._executor, "_broken", False))
+
+    def export_stats(self) -> Dict[str, int]:
+        """Lifetime segment counters across both exported roles."""
+        return {
+            "segments_created": (
+                self._main_exporter.segments_created
+                + self._new_exporter.segments_created
+            ),
+            "segments_reused": (
+                self._main_exporter.segments_reused
+                + self._new_exporter.segments_reused
+            ),
+        }
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=True)

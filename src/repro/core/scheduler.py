@@ -19,9 +19,33 @@ Two executor substrates are available (``mode=``):
   pair arrays are exported once per version as raw int64 buffers,
   workers rebuild zero-copy read views, and each task's private output
   buffers come back as one segment.  This is the mode that makes
-  ``workers=N`` pay off on the pure-Python backend, which ``"auto"``
-  therefore selects for it (NumPy stays on threads — no export
-  memcpy, kernels already parallel under the GIL release).
+  ``workers=N`` pay off on the pure-Python backend — *when the input
+  is big enough to amortize the export and result-marshalling costs*.
+
+**Executor selection** (``mode="auto"``, the default) is a cost model,
+not a backend lookup: :meth:`ParallelRuleScheduler.decide` estimates
+the materialization's per-iteration work from committed table sizes
+plus the catalogue's :meth:`~repro.rules.spec.Rule.estimate_join_input`
+hooks and picks ``sequential`` below the measured substrate crossover
+(parallel substrates only ever *cost* below it — pool scheduling,
+segment memcpy, result pickling), ``thread`` for GIL-releasing backends
+above the thread crossover, and ``process`` for the pure-Python backend
+above the (higher) process crossover.  Fewer than two usable cores
+always means sequential — no substrate can pay for itself on one core.
+Crossovers default to values measured by ``benchmarks/
+bench_table2_rdfs.py --scale`` and are overridable per scheduler or via
+``$REPRO_THREAD_CROSSOVER`` / ``$REPRO_PROCESS_CROSSOVER``;
+``$REPRO_PARALLEL_MODE`` still forces a substrate unconditionally.
+Every pick is recorded as an :class:`ExecutorDecision` (surfaced on
+``MaterializationStats.parallel_decision``).
+
+**Worker pools persist for the scheduler's lifetime**: the first
+parallel materialization lazily starts the pool, and subsequent
+flushes — including every incremental flush of a long-lived
+:class:`~repro.core.store_api.Store` — reuse both the pool and the
+exported shared-memory segments (identity-keyed, so re-exports track
+the delta).  ``close()`` (or garbage collection of the scheduler, via
+``weakref.finalize``) tears pools and segments down.
 
 **Intra-rule work splitting**: a rule whose estimated join input
 exceeds ``split_threshold`` pairs (CAX-SCO over the type table is the
@@ -54,6 +78,7 @@ from __future__ import annotations
 import os
 import time
 import warnings
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -64,23 +89,47 @@ from ..rules.depgraph import RuleDependencyGraph
 from ..rules.spec import Rule, RuleContext, Vocab
 from ..store.triple_store import InferredBuffers, TripleStore
 from .parallel import (
-    PARALLEL_MODE_ENV,
     ProcessModeUnavailable,
     ProcessSession,
     discard_result_segment,
+    process_mode_supported,
     resolve_parallel_mode,
     resolve_split_threshold,
     segment_to_buffers,
 )
 
 __all__ = [
+    "ExecutorDecision",
     "IterationOutcome",
     "ParallelRuleScheduler",
+    "resolve_crossover",
+    "resolve_parallel_cores",
     "resolve_workers",
 ]
 
 #: Environment default for the worker count (used when ``workers=None``).
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment override for the usable core count the cost model sees
+#: (testing/CI: simulate a multicore decision on a one-core box).
+PARALLEL_CORES_ENV = "REPRO_PARALLEL_CORES"
+
+#: Environment overrides for the cost-model crossovers (estimated
+#: join-input pairs per iteration above which a substrate pays off).
+THREAD_CROSSOVER_ENV = "REPRO_THREAD_CROSSOVER"
+PROCESS_CROSSOVER_ENV = "REPRO_PROCESS_CROSSOVER"
+
+#: Default crossovers, anchored to the scale benchmark
+#: (``benchmarks/bench_table2_rdfs.py --scale``): BSBM-300 and
+#: BSBM-10k estimate well below both (their sequential
+#: materializations are single-digit milliseconds to ~0.1 s — pool
+#: dispatch plus export memcpy dominate any win), while BSBM-100k
+#: (~0.9 M committed triples, ~0.9 s sequential) clears the thread
+#: crossover.  The process substrate additionally pays a per-iteration
+#: snapshot export and per-task result pickling, so its crossover sits
+#: roughly an order of magnitude higher.
+DEFAULT_THREAD_CROSSOVER = 250_000
+DEFAULT_PROCESS_CROSSOVER = 2_000_000
 
 #: Executor handle yielded by :meth:`ParallelRuleScheduler.session`.
 Executor = Union[ThreadPoolExecutor, ProcessSession]
@@ -139,6 +188,140 @@ def resolve_workers(workers: Optional[int]) -> int:
     return value
 
 
+def resolve_parallel_cores(cores: Optional[int] = None) -> int:
+    """The usable core count the executor cost model plans against.
+
+    Explicit values are trusted (clamped to >= 1); ``None`` reads
+    :data:`PARALLEL_CORES_ENV` (sanitized: non-numeric or non-positive
+    values warn and fall back to the detected count) and defaults to
+    ``os.cpu_count()``.
+    """
+    detected = os.cpu_count() or 1
+    if cores is not None:
+        return max(1, int(cores))
+    raw = os.environ.get(PARALLEL_CORES_ENV, "").strip()
+    if not raw:
+        return detected
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{PARALLEL_CORES_ENV}={raw!r} is not an integer core "
+            f"count; using the detected {detected}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return detected
+    if value < 1:
+        warnings.warn(
+            f"{PARALLEL_CORES_ENV}={value} is not positive; using the "
+            f"detected {detected}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return detected
+    return value
+
+
+def resolve_crossover(
+    value: Optional[int], *, env: str, default: int
+) -> int:
+    """Normalize one cost-model crossover (estimated pairs).
+
+    Explicit values are trusted (clamped to >= 0; ``0`` means "always
+    profitable"); ``None`` reads ``env``, where non-numeric or negative
+    values warn and fall back to ``default`` — a stray shell export
+    must never crash an engine (mirrors ``$REPRO_WORKERS``).
+    """
+    if value is not None:
+        return max(0, int(value))
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return default
+    try:
+        parsed = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{env}={raw!r} is not an integer pair count; using the "
+            f"default ({default})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if parsed < 0:
+        warnings.warn(
+            f"{env}={parsed} is negative; using the default ({default})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return parsed
+
+
+@dataclass
+class ExecutorDecision:
+    """One recorded executor pick for a materialization.
+
+    ``mode`` is the substrate the run actually uses (``sequential`` /
+    ``thread`` / ``process``); ``requested`` is what the caller asked
+    for (``auto`` unless forced); ``estimated_pairs`` is the cost
+    model's per-iteration work estimate (``None`` when no snapshot was
+    available to estimate from); ``reason`` says why in one sentence.
+    ``fallback`` is filled in when a picked process substrate could not
+    start and the run degraded to threads.
+    """
+
+    mode: str
+    requested: str
+    forced: bool
+    workers: int
+    cores: int
+    estimated_pairs: Optional[int]
+    thread_crossover: int
+    process_crossover: int
+    reason: str
+    fallback: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (stats / bench reports)."""
+        return {
+            "mode": self.mode,
+            "requested": self.requested,
+            "forced": self.forced,
+            "workers": self.workers,
+            "cores": self.cores,
+            "estimated_pairs": self.estimated_pairs,
+            "thread_crossover": self.thread_crossover,
+            "process_crossover": self.process_crossover,
+            "reason": self.reason,
+            "fallback": self.fallback,
+        }
+
+
+class _PoolBox:
+    """Holder for the scheduler's lazily-started persistent pools.
+
+    Lives separately from the scheduler so a ``weakref.finalize`` on
+    the scheduler can reap the pools without keeping the scheduler
+    itself alive (the finalizer closes over the box, not the owner).
+    """
+
+    __slots__ = ("thread", "process")
+
+    def __init__(self) -> None:
+        self.thread: Optional[ThreadPoolExecutor] = None
+        self.process: Optional[ProcessSession] = None
+
+
+def _close_pool_box(box: _PoolBox) -> None:
+    thread, box.thread = box.thread, None
+    process, box.process = box.process, None
+    if thread is not None:
+        thread.shutdown(wait=True)
+    if process is not None:
+        process.shutdown()
+
+
 @dataclass
 class IterationOutcome:
     """What one scheduled iteration produced (pre-merge).
@@ -174,6 +357,9 @@ class ParallelRuleScheduler:
         algorithm: str = "auto",
         split_threshold: Optional[int] = None,
         start_method: Optional[str] = None,
+        thread_crossover: Optional[int] = None,
+        process_crossover: Optional[int] = None,
+        cores: Optional[int] = None,
     ):
         self.rules: List[Rule] = list(rules)
         self.workers = resolve_workers(workers)
@@ -186,19 +372,34 @@ class ParallelRuleScheduler:
         self.vocab = vocab
         self.split_threshold = resolve_split_threshold(split_threshold)
         self.start_method = start_method
-        # Whether the mode was forced (parameter or environment) —
-        # forced process mode fails loudly, auto-derived falls back.
-        requested = mode
-        if requested is None:
-            requested = (
-                os.environ.get(PARALLEL_MODE_ENV, "").strip() or None
-            )
-        self._mode_forced = (
-            requested is not None
-            and requested.lower() in ("thread", "process")
+        #: What the caller asked for: ``auto`` / ``thread`` /
+        #: ``process`` (parameter beats environment; bad environment
+        #: values warn and fall back to ``auto``).
+        self.requested_mode = resolve_parallel_mode(mode)
+        # A requested substrate is *forced*: it is used regardless of
+        # the cost model, and a process substrate that cannot start
+        # fails loudly instead of degrading to threads.
+        self._mode_forced = self.requested_mode in ("thread", "process")
+        self.thread_crossover = resolve_crossover(
+            thread_crossover,
+            env=THREAD_CROSSOVER_ENV,
+            default=DEFAULT_THREAD_CROSSOVER,
         )
-        self.mode = resolve_parallel_mode(
-            mode, backend_name=self.kernels.name
+        self.process_crossover = resolve_crossover(
+            process_crossover,
+            env=PROCESS_CROSSOVER_ENV,
+            default=DEFAULT_PROCESS_CROSSOVER,
+        )
+        self.cores = resolve_parallel_cores(cores)
+        #: The most recent :meth:`decide` result (observability).
+        self.last_decision: Optional[ExecutorDecision] = None
+        # Sticky record of why an auto-picked process substrate could
+        # not start (unpicklable rules, missing vocab): decide() stops
+        # proposing process once it is known to fail.
+        self._process_fallback: Optional[str] = None
+        self._pools = _PoolBox()
+        self._pool_finalizer = weakref.finalize(
+            self, _close_pool_box, self._pools
         )
         self.graph = graph if graph is not None else RuleDependencyGraph(
             self.rules
@@ -212,53 +413,241 @@ class ParallelRuleScheduler:
 
     @property
     def effective_mode(self) -> str:
-        """The substrate rule firings actually run on.
+        """The substrate rule firings run on (best current knowledge).
 
-        ``"sequential"`` when ``workers=1`` (no executor at all), else
-        the resolved ``"thread"`` / ``"process"`` mode.
+        ``"sequential"`` when ``workers=1`` (no executor at all); the
+        forced substrate when one was requested; the last recorded
+        decision's pick otherwise; ``"auto"`` before any decision has
+        been made (the cost model picks per materialization).
         """
         if self.workers <= 1:
             return "sequential"
-        return self.mode
+        if self.last_decision is not None:
+            return self.last_decision.mode
+        if self._mode_forced:
+            return self.requested_mode
+        return "auto"
 
     def wave_names(self) -> List[List[str]]:
         """Rule names per wave (observability)."""
         return [[self.rules[i].name for i in wave] for wave in self.waves]
 
-    @contextmanager
-    def session(self) -> Iterator[Optional[Executor]]:
-        """Worker-pool context for one materialization run.
+    # ------------------------------------------------------------------
+    # Executor cost model
+    # ------------------------------------------------------------------
+    def estimate_iteration_work(
+        self, main: TripleStore, new: TripleStore
+    ) -> int:
+        """Estimated pairs one iteration's rule firings will scan.
 
-        Yields ``None`` in the sequential (``workers=1``) case so the
-        wave loop runs inline; otherwise a live thread pool or
-        :class:`ProcessSession` torn down when the materialization
-        finishes.  An ``"auto"``-derived process mode that cannot start
-        (unpicklable custom rules, missing vocabulary) falls back to
-        threads; a forced ``mode="process"`` raises instead.
+        Sums the catalogue's :meth:`Rule.estimate_join_input` hooks
+        (O(1) table-size lookups each), floored by the snapshot size —
+        rules without an estimator still have to scan their inputs, so
+        the floor keeps the model honest for custom rules.  The floor
+        is the full store on a batch run (``new is main``: everything
+        participates) but only the *delta* on a semi-naive incremental
+        run — the main-side legs a delta joins against are already
+        priced by the per-rule estimators.
         """
-        if self.workers <= 1:
+        total = 0
+        if self.vocab is not None:
+            for rule in self.rules:
+                estimate = rule.estimate_join_input(
+                    main=main, new=new, vocab=self.vocab
+                )
+                if estimate:
+                    total += int(estimate)
+        floor = main.n_triples if new is main else new.n_triples
+        return max(total, floor)
+
+    def decide(
+        self,
+        main: Optional[TripleStore] = None,
+        new: Optional[TripleStore] = None,
+    ) -> ExecutorDecision:
+        """Pick the executor substrate for one materialization.
+
+        Forced modes (explicit ``parallel_mode=`` or
+        ``$REPRO_PARALLEL_MODE``) short-circuit the model.  ``auto``
+        estimates the per-iteration work from the committed snapshot
+        (``None`` stores mean "unknown", treated as above every
+        crossover so standalone callers keep an executor) and refuses
+        any parallel substrate below its measured crossover — or when
+        fewer than two cores are usable, where no substrate can pay.
+        """
+        requested = self.requested_mode
+        workers = self.workers
+
+        def decision(mode: str, reason: str, estimated=None) -> ExecutorDecision:
+            return ExecutorDecision(
+                mode=mode,
+                requested=requested,
+                forced=self._mode_forced,
+                workers=workers,
+                cores=self.cores,
+                estimated_pairs=estimated,
+                thread_crossover=self.thread_crossover,
+                process_crossover=self.process_crossover,
+                reason=reason,
+            )
+
+        if workers <= 1:
+            return decision("sequential", "workers=1 (no executor)")
+        if self._mode_forced:
+            return decision(
+                requested,
+                f"forced by parallel_mode={requested!r} "
+                f"(cost model bypassed)",
+            )
+        estimated: Optional[int] = None
+        if main is not None and new is not None:
+            estimated = self.estimate_iteration_work(main, new)
+        if self.cores < 2:
+            return decision(
+                "sequential",
+                f"only {self.cores} usable core(s); no parallel "
+                f"substrate can pay for its overhead",
+                estimated,
+            )
+        if self.kernels.name != "python":
+            # Vectorized kernels release the GIL: threads scale and
+            # skip the export memcpy, so process mode never wins here.
+            if estimated is not None and estimated < self.thread_crossover:
+                return decision(
+                    "sequential",
+                    f"estimated {estimated} pairs/iteration is below "
+                    f"the thread crossover ({self.thread_crossover})",
+                    estimated,
+                )
+            return decision(
+                "thread",
+                f"estimated work clears the thread crossover on the "
+                f"GIL-releasing {self.kernels.name!r} backend",
+                estimated,
+            )
+        # Pure-Python backend: threads are GIL-serialized, so the only
+        # substrate that can win is processes — above their crossover.
+        if estimated is not None and estimated < self.process_crossover:
+            return decision(
+                "sequential",
+                f"estimated {estimated} pairs/iteration is below the "
+                f"process crossover ({self.process_crossover}); threads "
+                f"cannot help the GIL-serialized python backend",
+                estimated,
+            )
+        if self._process_fallback is not None:
+            picked = decision(
+                "thread",
+                "process substrate previously failed to start; "
+                "degrading to threads",
+                estimated,
+            )
+            picked.fallback = self._process_fallback
+            return picked
+        if not process_mode_supported():
+            return decision(
+                "thread",
+                "process substrate unsupported on this platform; "
+                "threads interleave but stay correct",
+                estimated,
+            )
+        return decision(
+            "process",
+            "estimated work clears the process crossover on the "
+            "GIL-serialized 'python' backend",
+            estimated,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistent worker pools (Store-lifetime)
+    # ------------------------------------------------------------------
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        pool = self._pools.thread
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-rule"
+            )
+            self._pools.thread = pool
+        return pool
+
+    def _ensure_process_session(self) -> ProcessSession:
+        session = self._pools.process
+        if session is not None and session.broken:
+            # A worker died (kill, OOM): the pool is unusable, but a
+            # fresh one can be built — drop and recreate.
+            self._pools.process = None
+            try:
+                session.shutdown()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            session = None
+        if session is None:
+            if self.vocab is None:
+                raise ProcessModeUnavailable(
+                    "process parallel mode needs the scheduler to be "
+                    "built with vocab= (the engine does this); "
+                    "standalone schedulers run threads"
+                )
+            session = ProcessSession(
+                workers=self.workers,
+                rules=self.rules,
+                vocab=self.vocab,
+                kernels=self.kernels,
+                algorithm=self.algorithm,
+                start_method=self.start_method,
+            )
+            self._pools.process = session
+        return session
+
+    @property
+    def process_session(self) -> Optional[ProcessSession]:
+        """The live persistent process session, if one was started."""
+        return self._pools.process
+
+    @property
+    def thread_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The live persistent thread pool, if one was started."""
+        return self._pools.thread
+
+    def close(self) -> None:
+        """Shut down persistent pools and release exported segments.
+
+        Idempotent; the scheduler remains usable afterwards (the next
+        parallel session lazily starts fresh pools).
+        """
+        _close_pool_box(self._pools)
+
+    @contextmanager
+    def session(
+        self, decision: Optional[ExecutorDecision] = None
+    ) -> Iterator[Optional[Executor]]:
+        """Executor context for one materialization run.
+
+        Yields ``None`` for a sequential decision so the wave loop runs
+        inline; otherwise the scheduler's *persistent* thread pool or
+        :class:`ProcessSession`, lazily started on first use and left
+        running on exit — pools and exported segments live until
+        :meth:`close` (incremental flushes reuse them).  ``decision``
+        defaults to :meth:`decide` with no snapshot.  An auto-picked
+        process substrate that cannot start (unpicklable custom rules,
+        missing vocabulary) falls back to threads and records why; a
+        forced ``mode="process"`` raises instead.
+        """
+        if decision is None:
+            decision = self.decide()
+        self.last_decision = decision
+        if decision.mode == "sequential" or self.workers <= 1:
             yield None
             return
-        if self.mode == "process":
-            session = None
+        if decision.mode == "process":
             try:
-                if self.vocab is None:
-                    raise ProcessModeUnavailable(
-                        "process parallel mode needs the scheduler to be "
-                        "built with vocab= (the engine does this); "
-                        "standalone schedulers run threads"
-                    )
-                session = ProcessSession(
-                    workers=self.workers,
-                    rules=self.rules,
-                    vocab=self.vocab,
-                    kernels=self.kernels,
-                    algorithm=self.algorithm,
-                    start_method=self.start_method,
-                )
+                session = self._ensure_process_session()
             except ProcessModeUnavailable as error:
-                if self._mode_forced:
+                if decision.forced:
                     raise
+                self._process_fallback = str(error)
+                decision.mode = "thread"
+                decision.fallback = str(error)
                 warnings.warn(
                     f"auto-selected process parallel mode is unavailable "
                     f"({error}); falling back to threads — expect no "
@@ -266,20 +655,10 @@ class ParallelRuleScheduler:
                     RuntimeWarning,
                     stacklevel=3,
                 )
-                self.mode = "thread"  # sticky auto-fallback
-            if session is not None:
-                try:
-                    yield session
-                finally:
-                    session.shutdown()
+            else:
+                yield session
                 return
-        executor = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-rule"
-        )
-        try:
-            yield executor
-        finally:
-            executor.shutdown(wait=True)
+        yield self._ensure_thread_pool()
 
     # ------------------------------------------------------------------
     # One fixed-point iteration

@@ -105,9 +105,11 @@ class StoreConfig:
     #: Workers for the parallel rule scheduler; ``None`` reads
     #: ``$REPRO_WORKERS`` (default 1), ``0`` means all cores.
     workers: Optional[int] = None
-    #: Executor substrate for ``workers > 1``: 'thread', 'process' or
-    #: 'auto' (process on the pure-Python backend, threads on numpy);
-    #: ``None`` reads ``$REPRO_PARALLEL_MODE``.
+    #: Executor substrate for ``workers > 1``: 'thread' or 'process'
+    #: force one; 'auto' lets the scheduler's cost model pick
+    #: sequential/thread/process per flush from the estimated work
+    #: (see :meth:`ParallelRuleScheduler.decide`); ``None`` reads
+    #: ``$REPRO_PARALLEL_MODE``.
     parallel_mode: Optional[str] = None
     #: Join-input pairs above which one rule firing is split into
     #: key-range shards; ``None`` reads ``$REPRO_SPLIT_THRESHOLD``
@@ -642,6 +644,34 @@ class Store(_ReadAPI):
     def memory_bytes(self) -> int:
         """Bytes held by the store's pair arrays and caches."""
         return self._engine.memory_bytes()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the store's worker pools and shared-memory segments.
+
+        Parallel flushes keep their worker pool (and, in process mode,
+        the exported shared-memory segments) alive between flushes so
+        incremental updates never pay a pool cold start; ``close()``
+        tears that state down deterministically.  Idempotent, and the
+        store stays *readable and writable* — the next parallel flush
+        lazily restarts its pool.  Garbage collection would reap the
+        pools too (``weakref.finalize``), but long-lived processes
+        (servers, notebooks) should close explicitly — or use the
+        store as a context manager::
+
+            with Store(triples, workers=4) as store:
+                ...  # pools live here
+            # pools and segments released
+        """
+        self._engine.close()
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Read-side plumbing

@@ -38,9 +38,17 @@ def bsbm_schema(
     root = _c("ProductType0")
     types = [root]
     children: dict = {root: 0}
+    # BSBM keeps its product-type tree *shallow*: the generator widens
+    # the branching factor with the type count so the depth stays ~3-5
+    # across the whole published scale range.  Mirroring that keeps the
+    # subClassOf closure O(n_types · depth); a recency-biased parent
+    # pick (the previous behaviour) degenerates into a near-path whose
+    # closure — and every CAX-SCO firing over it — grows quadratically
+    # with scale, which is not the benchmark's shape.
+    branching = max(2, round(n_types ** 0.25))
     for i in range(1, n_types):
         node = _c(f"ProductType{i}")
-        parent = rng.choice(types[-12:])  # prefer recent → deeper tree
+        parent = types[(i - 1) // branching]
         triples.append(Triple(node, RDFS.subClassOf, parent))
         children[parent] = children.get(parent, 0) + 1
         children[node] = 0

@@ -70,20 +70,27 @@ def shard_join_views(kernels, view1, view2, shard):
     return sliced[0], sliced[1]
 
 
-def _two_leg_shard_plan(legs, *, max_shards, threshold):
-    """Shard count for a two-leg merge-join executor, or ``None``.
+def _two_leg_input_size(legs) -> int:
+    """Total pair count feeding a two-leg merge-join executor.
 
     ``legs`` yields ``(table1, table2)`` pairs (``None`` entries are
-    skipped); the estimate is the total pair count feeding the joins —
-    the quantity the merge joins scan linearly.
+    skipped); the sum is the quantity the merge joins scan linearly —
+    the same estimate the shard planner and the executor-selection
+    cost model both gate on.
     """
-    if max_shards < 2 or threshold <= 0:
-        return None
     size = 0
     for table1, table2 in legs:
         if table1 is None or table2 is None:
             continue
         size += table1.n_pairs + table2.n_pairs
+    return size
+
+
+def _two_leg_shard_plan(legs, *, max_shards, threshold):
+    """Shard count for a two-leg merge-join executor, or ``None``."""
+    if max_shards < 2 or threshold <= 0:
+        return None
+    size = _two_leg_input_size(legs)
     if size < threshold:
         return None
     return max(2, min(max_shards, -(-size // threshold)))
@@ -178,6 +185,15 @@ class AlphaRule(Rule):
         return _two_leg_shard_plan(
             legs, max_shards=max_shards, threshold=threshold
         )
+
+    def estimate_join_input(self, *, main, new, vocab):
+        pid1 = vocab[self.p1]
+        pid2 = vocab[self.p2]
+        legs = [
+            (table_or_none(store1, pid1), table_or_none(store2, pid2))
+            for store1, store2 in ((new, main), (main, new))
+        ]
+        return _two_leg_input_size(legs)
 
     def _apply(self, ctx: RuleContext, shard) -> None:
         kernels = ctx.kernels
@@ -591,6 +607,14 @@ class IterativeTransitivityRule(Rule):
         return _two_leg_shard_plan(
             legs, max_shards=max_shards, threshold=threshold
         )
+
+    def estimate_join_input(self, *, main, new, vocab):
+        pid = vocab[self.prop]
+        legs = [
+            (table_or_none(left, pid), table_or_none(right, pid))
+            for left, right in ((new, main), (main, new))
+        ]
+        return _two_leg_input_size(legs)
 
     def _apply(self, ctx: RuleContext, shard) -> None:
         pid = ctx.vocab[self.prop]

@@ -160,6 +160,24 @@ class Rule:
             f"rule {self.name} does not support intra-rule sharding"
         )
 
+    def estimate_join_input(
+        self,
+        *,
+        main: TripleStore,
+        new: TripleStore,
+        vocab: Vocab,
+    ) -> Optional[int]:
+        """Estimated pairs this firing will scan, or ``None`` (unknown).
+
+        The executor-selection cost model sums these estimates over the
+        catalogue (floored by the committed store size, which covers
+        rules that return ``None``) to decide whether a materialization
+        is big enough for a parallel substrate to pay off.  Like
+        :meth:`shard_plan`, implementations must stay O(1) table-size
+        lookups — the estimate runs before *every* flush.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} ({self.rule_class})>"
 

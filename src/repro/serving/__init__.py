@@ -72,3 +72,8 @@ def run(
     except KeyboardInterrupt:  # platforms without add_signal_handler
         print("repro: interrupted", file=sys.stderr)
         return 130
+    finally:
+        # The writer task's flushes share the store's persistent worker
+        # pool across batches; once the process is done serving, release
+        # the pool and its shared-memory segments deterministically.
+        store.close()

@@ -274,8 +274,12 @@ class TestFailurePaths:
         engine.load_triples(bsbm_like(10))
         with pytest.raises(RuntimeError, match="boom from worker"):
             engine.materialize()
-        # The emitting sibling's (disowned) output segment and every
-        # exporter segment must be gone — no leak until reboot.
+        # The emitting sibling's (disowned) output segment must be gone
+        # immediately — the drain path releases it even though the
+        # engine (and its persistent pool + exporter segments) lives on.
+        # Closing the engine must then release every exporter segment —
+        # no leak until reboot.
+        engine.close()
         assert _live_segments() - before == set()
 
     def test_forced_mode_detection_is_case_insensitive(self):
@@ -328,6 +332,36 @@ class TestModeResolution:
     def test_unknown_mode_raises(self):
         with pytest.raises(ValueError, match="parallel mode"):
             parallel.resolve_parallel_mode("greenlet", backend_name="python")
+
+    def test_unknown_env_mode_warns_and_falls_back(self, monkeypatch):
+        # A stray shell export must never crash an engine — mirror the
+        # forgiving $REPRO_WORKERS parse instead of raising.
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", "greenlet")
+        with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL_MODE"):
+            assert parallel.resolve_parallel_mode(None) == "auto"
+
+    def test_unknown_env_mode_still_dispatches_on_backend(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PARALLEL_MODE", "greenlet")
+        with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL_MODE"):
+            resolved = parallel.resolve_parallel_mode(
+                None, backend_name="numpy"
+            )
+        assert resolved == "thread"
+
+    def test_without_backend_auto_stays_unresolved(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_MODE", raising=False)
+        # No backend_name: the caller's cost model decides per
+        # materialization, so 'auto' passes through.
+        assert parallel.resolve_parallel_mode(None) == "auto"
+
+    def test_negative_split_threshold_env_warns_and_disables(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SPLIT_THRESHOLD", "-5")
+        with pytest.warns(RuntimeWarning, match="REPRO_SPLIT_THRESHOLD"):
+            assert parallel.resolve_split_threshold(None) == 0
 
     def test_split_threshold_default_and_floor(self):
         assert (

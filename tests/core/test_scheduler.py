@@ -124,9 +124,10 @@ class TestSchedulerStructure:
             assert executor.submit(lambda: 41 + 1).result() == 42
 
     def test_standalone_process_scheduler_falls_back_to_threads(self):
-        # Built without vocab= (the engine provides it), an
-        # auto-derived process mode degrades to threads instead of
-        # failing the materialization.
+        # Built without vocab= (the engine provides it), a cost-model
+        # process pick degrades to threads instead of failing the
+        # materialization — and the fallback is sticky: the next
+        # decision stops proposing the broken substrate.
         from repro.kernels import get_backend
 
         scheduler = ParallelRuleScheduler(
@@ -134,13 +135,19 @@ class TestSchedulerStructure:
             workers=2,
             mode=None,
             kernels=get_backend("python"),
+            cores=4,
+            process_crossover=0,
         )
-        scheduler._mode_forced = False
-        assert scheduler.mode == "process"
+        decision = scheduler.decide()
+        assert decision.mode == "process"
         with pytest.warns(RuntimeWarning, match="falling back to threads"):
-            with scheduler.session() as executor:
+            with scheduler.session(decision) as executor:
                 assert executor is not None
-        assert scheduler.mode == "thread"
+        assert decision.mode == "thread"
+        assert decision.fallback and "vocab" in decision.fallback
+        assert scheduler.effective_mode == "thread"
+        assert scheduler.decide().mode == "thread"  # sticky
+        scheduler.close()
 
     def test_forced_process_without_vocab_raises(self):
         from repro.core.parallel import ProcessModeUnavailable
@@ -263,21 +270,82 @@ class TestParallelModeSelection:
         assert stats.parallel_mode == mode
         assert engine.contains(Triple(ex("Bart"), RDF.type, ex("animal")))
 
-    def test_auto_picks_process_for_python_backend(self):
+    def test_auto_is_undecided_before_the_first_run(self):
         engine = InferrayEngine(
             "rdfs-default", backend="python", workers=2, parallel_mode="auto"
         )
-        assert engine.parallel_mode == "process"
+        assert engine.parallel_mode == "auto"
 
-    def test_auto_picks_thread_for_numpy_backend(self):
+    def test_auto_picks_sequential_below_the_crossover(self, monkeypatch):
+        # INTRO is tiny: no substrate can amortize its overhead, so
+        # auto must refuse parallelism even with cores available.
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        engine = InferrayEngine(
+            "rdfs-default", backend="python", workers=2, parallel_mode="auto"
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.parallel_mode == "sequential"
+        assert stats.parallel_decision["requested"] == "auto"
+        assert stats.parallel_decision["estimated_pairs"] is not None
+        assert "crossover" in stats.parallel_decision["reason"]
+
+    def test_auto_picks_sequential_on_one_core(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "1")
+        monkeypatch.setenv("REPRO_PROCESS_CROSSOVER", "0")
+        engine = InferrayEngine(
+            "rdfs-default", backend="python", workers=4, parallel_mode="auto"
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.parallel_mode == "sequential"
+        assert "core" in stats.parallel_decision["reason"]
+
+    def test_auto_picks_process_for_python_backend_above_crossover(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        monkeypatch.setenv("REPRO_PROCESS_CROSSOVER", "0")
+        engine = InferrayEngine(
+            "rdfs-default", backend="python", workers=2, parallel_mode="auto"
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.parallel_mode == "process"
+        assert stats.parallel_fallback is None
+        engine.close()
+
+    def test_auto_picks_thread_for_numpy_backend_above_crossover(
+        self, monkeypatch
+    ):
         from repro.kernels import numpy_available
 
         if not numpy_available():
             pytest.skip("numpy backend unavailable")
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        monkeypatch.setenv("REPRO_THREAD_CROSSOVER", "0")
         engine = InferrayEngine(
             "rdfs-default", backend="numpy", workers=2, parallel_mode="auto"
         )
-        assert engine.parallel_mode == "thread"
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.parallel_mode == "thread"
+        engine.close()
+
+    def test_auto_never_picks_threads_for_the_python_backend(
+        self, monkeypatch
+    ):
+        # Threads cannot beat sequential under the GIL: below the
+        # process crossover the python backend runs sequentially even
+        # when the thread crossover is cleared.
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        monkeypatch.setenv("REPRO_THREAD_CROSSOVER", "0")
+        engine = InferrayEngine(
+            "rdfs-default", backend="python", workers=2, parallel_mode="auto"
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.parallel_mode == "sequential"
 
     def test_env_mode_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL_MODE", "thread")
@@ -300,24 +368,28 @@ class TestParallelModeSelection:
                 "rdfs-default", workers=2, parallel_mode="fibers"
             )
 
-    def test_unpicklable_custom_rules_fall_back_in_auto(self):
+    def test_unpicklable_custom_rules_fall_back_in_auto(self, monkeypatch):
         from repro.rules.spec import Rule, RuleContext
 
         class LocalRule(Rule):  # unpicklable: defined in a function
             def apply(self, ctx: RuleContext) -> None:
                 pass
 
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        monkeypatch.setenv("REPRO_PROCESS_CROSSOVER", "0")
         engine = InferrayEngine(
             [LocalRule("LOCAL")],
             backend="python",
             workers=2,
             parallel_mode="auto",
         )
-        assert engine.parallel_mode == "process"
         engine.load_triples(INTRO)
         with pytest.warns(RuntimeWarning, match="falling back to threads"):
-            engine.materialize()  # degrades to threads, does not raise
+            stats = engine.materialize()  # degrades, does not raise
+        assert stats.parallel_mode == "thread"
+        assert stats.parallel_fallback and "picklable" in stats.parallel_fallback
         assert engine.parallel_mode == "thread"
+        engine.close()
 
     def test_unpicklable_custom_rules_raise_when_forced(self):
         from repro.core.parallel import ProcessModeUnavailable
@@ -452,3 +524,93 @@ class TestStoreIntegration:
         store = Store(INTRO, workers=2, parallel_mode="thread")
         assert store.engine.parallel_mode == "thread"
         assert len(store) > len(INTRO)
+
+
+class TestCostModelKnobResolution:
+    """Sanitization of the cost model's environment knobs.
+
+    Mirrors the $REPRO_WORKERS contract: explicit parameters are
+    trusted, environment values warn and fall back instead of
+    crashing the engine.
+    """
+
+    def test_cores_env_overrides_detection(self, monkeypatch):
+        from repro.core.scheduler import resolve_parallel_cores
+
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "8")
+        assert resolve_parallel_cores() == 8
+
+    def test_explicit_cores_beat_env(self, monkeypatch):
+        from repro.core.scheduler import resolve_parallel_cores
+
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "8")
+        assert resolve_parallel_cores(3) == 3
+
+    def test_bad_cores_env_warns_and_detects(self, monkeypatch):
+        import os
+
+        from repro.core.scheduler import resolve_parallel_cores
+
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL_CORES"):
+            assert resolve_parallel_cores() == (os.cpu_count() or 1)
+
+    def test_nonpositive_cores_env_warns_and_detects(self, monkeypatch):
+        import os
+
+        from repro.core.scheduler import resolve_parallel_cores
+
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "0")
+        with pytest.warns(RuntimeWarning, match="REPRO_PARALLEL_CORES"):
+            assert resolve_parallel_cores() == (os.cpu_count() or 1)
+
+    def test_crossover_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREAD_CROSSOVER", "123")
+        monkeypatch.setenv("REPRO_PROCESS_CROSSOVER", "456")
+        scheduler = ParallelRuleScheduler(
+            get_ruleset("rdfs-default"), workers=2
+        )
+        assert scheduler.thread_crossover == 123
+        assert scheduler.process_crossover == 456
+
+    def test_bad_crossover_env_warns_and_defaults(self, monkeypatch):
+        from repro.core.scheduler import (
+            PROCESS_CROSSOVER_ENV,
+            resolve_crossover,
+        )
+
+        monkeypatch.setenv(PROCESS_CROSSOVER_ENV, "huge")
+        with pytest.warns(RuntimeWarning, match="REPRO_PROCESS_CROSSOVER"):
+            assert (
+                resolve_crossover(
+                    None, env=PROCESS_CROSSOVER_ENV, default=42
+                )
+                == 42
+            )
+
+    def test_negative_crossover_env_warns_and_defaults(self, monkeypatch):
+        from repro.core.scheduler import (
+            THREAD_CROSSOVER_ENV,
+            resolve_crossover,
+        )
+
+        monkeypatch.setenv(THREAD_CROSSOVER_ENV, "-1")
+        with pytest.warns(RuntimeWarning, match="REPRO_THREAD_CROSSOVER"):
+            assert (
+                resolve_crossover(
+                    None, env=THREAD_CROSSOVER_ENV, default=42
+                )
+                == 42
+            )
+
+    def test_explicit_crossover_trusted_and_clamped(self, monkeypatch):
+        from repro.core.scheduler import (
+            THREAD_CROSSOVER_ENV,
+            resolve_crossover,
+        )
+
+        monkeypatch.setenv(THREAD_CROSSOVER_ENV, "999")  # ignored
+        assert (
+            resolve_crossover(-7, env=THREAD_CROSSOVER_ENV, default=42)
+            == 0
+        )
