@@ -17,11 +17,20 @@ comparison over a hierarchy-heavy dataset: ``materialize="hybrid"``
 encoding, so it must answer the same closure from fewer stored triples,
 fewer resident bytes per entailed triple and a faster flush.
 
+A third section compares the **kernel backends' resident closures** on
+BSBM- and LUBM-shaped datasets: the flat backends (python / numpy) sit
+at 16 bytes/pair per array, the ``compressed`` backend stores
+delta-encoded blocks — the report carries measured bytes/triple, the
+compression ratio against the flat baseline, wall-clock and a closure
+hash proving the answers are identical (CI gates ratio >= 4x and hash
+equality via ``check_bench_schema.py``).
+
 Run:     python benchmarks/bench_fig7_memory_closure.py [--smoke] [--json OUT]
 Pytest:  pytest benchmarks/bench_fig7_memory_closure.py --benchmark-only
 """
 
 import argparse
+import hashlib
 import json
 import time
 
@@ -32,8 +41,12 @@ from repro.baselines.rete import ReteEngine
 from repro.bench.figures import counters_to_bars, render_bars
 from repro.bench.harness import format_table
 from repro.core.engine import InferrayEngine
+from repro.datasets.bsbm import bsbm_like
 from repro.datasets.chains import subclass_chain, subclass_tree, subproperty_chain
+from repro.datasets.lubm import lubm_like
+from repro.kernels import numpy_available
 from repro.memsim.hierarchy import replay_trace
+from repro.memsim.probe import measure_store
 from repro.memsim.tracer import RecordingTracer
 from repro.rdf.terms import IRI, Triple
 from repro.rdf.vocabulary import RDF, RDFS
@@ -189,6 +202,99 @@ def run_hybrid_comparison(*, smoke=False, ruleset="rdfs-default"):
     }
 
 
+# ----------------------------------------------------------------------
+# Kernel-backend resident-closure comparison (memory curves)
+# ----------------------------------------------------------------------
+#: (dataset name, generator, full scale, smoke scale).
+BACKEND_DATASETS = [
+    ("bsbm", bsbm_like, 10_000, 300),
+    ("lubm", lubm_like, 500, 20),
+]
+
+
+def _closure_hash(engine) -> str:
+    """SHA-256 over the sorted encoded closure (backend-independent:
+    dictionary ids are a pure function of the asserted input order)."""
+    digest = hashlib.sha256()
+    for triple in sorted(engine.main.triples()):
+        digest.update(repr(triple).encode("ascii"))
+    return digest.hexdigest()
+
+
+def measure_backend(backend, data, *, ruleset="rdfs-default"):
+    """One backend's closure: residency report + wall clock + hash."""
+    engine = InferrayEngine(ruleset, backend=backend)
+    engine.load_triples(data)
+    started = time.perf_counter()
+    engine.materialize()
+    wall_seconds = time.perf_counter() - started
+    # Touch every ⟨o, s⟩ view so the caches are part of the residency
+    # measurement on every backend (the closure scan builds none).
+    for property_id in engine.main.property_ids():
+        engine.main.table(property_id).os_pairs()
+    report = measure_store(engine).as_dict()
+    report["wall_seconds"] = wall_seconds
+    report["answers_sha256"] = _closure_hash(engine)
+    return report
+
+
+def run_backend_comparison(*, smoke=False, ruleset="rdfs-default"):
+    """Materialize each dataset on every backend; compare residency.
+
+    Returns the ``"backends"`` report section: per-dataset, per-backend
+    resident bytes/triple curves, wall clock and answer hashes, plus
+    the compressed-vs-flat-baseline ratios the CI gate checks
+    (``resident_ratio`` >= 4, identical ``answers_sha256``).
+    """
+    baseline = "numpy" if numpy_available() else "python"
+    backends = ["python", "compressed"]
+    if baseline == "numpy":
+        backends.insert(1, "numpy")
+    datasets = []
+    for name, generate, full_scale, smoke_scale in BACKEND_DATASETS:
+        scale = smoke_scale if smoke else full_scale
+        data = generate(scale)
+        legs = {}
+        for backend in backends:
+            legs[backend] = measure_backend(backend, data, ruleset=ruleset)
+        flat, compressed = legs[baseline], legs["compressed"]
+        datasets.append(
+            {
+                "dataset": name,
+                "scale": scale,
+                "n_asserted": len(data),
+                "backends": legs,
+                "comparison": {
+                    "baseline": baseline,
+                    "resident_ratio": (
+                        flat["resident_bytes"] / compressed["resident_bytes"]
+                        if compressed["resident_bytes"]
+                        else None
+                    ),
+                    "wall_ratio": (
+                        compressed["wall_seconds"] / flat["wall_seconds"]
+                        if flat["wall_seconds"]
+                        else None
+                    ),
+                    "answers_match": (
+                        len(
+                            {
+                                leg["answers_sha256"]
+                                for leg in legs.values()
+                            }
+                        )
+                        == 1
+                    ),
+                },
+            }
+        )
+    return {
+        "ruleset": ruleset,
+        "baseline_backend": baseline,
+        "datasets": datasets,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -286,6 +392,40 @@ def main(argv=None):
         f"flushing {comparison['flush_speedup']:.2f}x faster"
     )
 
+    backends = run_backend_comparison(smoke=args.smoke)
+    print(
+        f"\nKernel-backend resident closures "
+        f"(baseline: {backends['baseline_backend']}):"
+    )
+    backend_table = []
+    for row in backends["datasets"]:
+        for backend, leg in row["backends"].items():
+            backend_table.append(
+                [
+                    f"{row['dataset']}-{row['scale']} {backend}",
+                    f"{leg['n_triples']:,}",
+                    f"{leg['resident_bytes']:,}",
+                    f"{leg['bytes_per_triple']:.2f}",
+                    f"{leg['compression_ratio']:.2f}x",
+                    f"{leg['wall_seconds']:.3f}",
+                ]
+            )
+    print(
+        format_table(
+            ["dataset backend", "triples", "resident B", "B/t",
+             "vs flat", "wall s"],
+            backend_table,
+        )
+    )
+    for row in backends["datasets"]:
+        cmp_row = row["comparison"]
+        print(
+            f"{row['dataset']}-{row['scale']}: compressed closure is "
+            f"{cmp_row['resident_ratio']:.2f}x smaller than "
+            f"{cmp_row['baseline']} at {cmp_row['wall_ratio']:.2f}x the "
+            f"wall clock; answers match: {cmp_row['answers_match']}"
+        )
+
     if args.json:
         report = {
             "table": "hybrid-closure",
@@ -302,6 +442,7 @@ def main(argv=None):
                 if per is not None
             ],
             "hybrid": hybrid,
+            "backends": backends,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -324,6 +465,18 @@ def test_hashjoin_memsim_chain100(benchmark):
     data = subclass_chain(100)
     per, _, _ = benchmark(lambda: measure_counters("hashjoin", data))
     assert per["tlb_misses_per_triple"] > 0.0
+
+
+@pytest.mark.benchmark(group="fig7-memsim")
+def test_backend_memory_curves_smoke(benchmark):
+    section = benchmark(lambda: run_backend_comparison(smoke=True))
+    for row in section["datasets"]:
+        comparison = row["comparison"]
+        assert comparison["answers_match"], row["dataset"]
+        assert comparison["resident_ratio"] > 4.0, (
+            row["dataset"],
+            comparison,
+        )
 
 
 if __name__ == "__main__":

@@ -75,6 +75,9 @@ def _dynamic_key(path):
         or ".cells[*].modes" in path
         or ".parallel_decision" in path
         or path.startswith("$.scale")
+        # Backend legs are keyed by backend name, and the set of
+        # measured backends varies with numpy availability.
+        or ".backends." in path
     )
 
 
@@ -166,7 +169,60 @@ def check_hybrid_structure(report):
     ):
         assert key in comparison, (key, sorted(comparison))
         assert comparison[key] is not None and comparison[key] > 0, comparison
+
+    check_backends_section(report["backends"])
     return len(memsim)
+
+
+#: The compressed backend must keep the resident closure at least this
+#: much smaller than the flat baseline on every memory-curve dataset.
+COMPRESSION_RATIO_FLOOR = 4.0
+
+
+def check_backends_section(backends):
+    """Gates for the kernel-backend memory-curve section.
+
+    The two hard promises of the compressed backend: closures at least
+    :data:`COMPRESSION_RATIO_FLOOR` times smaller than the flat
+    baseline, and **byte-identical answers** — every backend leg of a
+    dataset must report the same closure hash.
+    """
+    for key in ("ruleset", "baseline_backend", "datasets"):
+        assert key in backends, (key, sorted(backends))
+    assert backends["datasets"], "no backend memory-curve datasets"
+    for row in backends["datasets"]:
+        for key in ("dataset", "scale", "n_asserted", "backends",
+                    "comparison"):
+            assert key in row, (row.get("dataset"), key, sorted(row))
+        legs = row["backends"]
+        assert "compressed" in legs, (row["dataset"], sorted(legs))
+        assert backends["baseline_backend"] in legs, (
+            row["dataset"], sorted(legs),
+        )
+        hashes = set()
+        for backend, leg in legs.items():
+            for key in (
+                "n_triples", "resident_bytes", "bytes_per_triple",
+                "compression_ratio", "wall_seconds", "answers_sha256",
+            ):
+                assert key in leg, (row["dataset"], backend, key)
+            assert leg["n_triples"] > 0, (row["dataset"], backend)
+            assert leg["resident_bytes"] > 0, (row["dataset"], backend)
+            hashes.add(leg["answers_sha256"])
+        comparison = row["comparison"]
+        assert comparison["answers_match"] is True, (
+            f"{row['dataset']}: backend closures diverge"
+        )
+        assert len(hashes) == 1, (
+            f"{row['dataset']}: backend closure hashes diverge: {hashes}"
+        )
+        assert comparison["resident_ratio"] is not None and (
+            comparison["resident_ratio"] >= COMPRESSION_RATIO_FLOOR
+        ), (
+            f"{row['dataset']}: compressed closure only "
+            f"{comparison['resident_ratio']}x smaller than "
+            f"{comparison['baseline']} (floor {COMPRESSION_RATIO_FLOOR}x)"
+        )
 
 
 def check_structure(report):
@@ -354,6 +410,14 @@ def main(argv=None):
             f"bytes/triple, flush speedup "
             f"{comparison['flush_speedup']:.2f}x; answers match"
         )
+        for row in report["backends"]["datasets"]:
+            cmp_row = row["comparison"]
+            print(
+                f"    {row['dataset']}-{row['scale']}: compressed "
+                f"{cmp_row['resident_ratio']:.2f}x smaller than "
+                f"{cmp_row['baseline']} at {cmp_row['wall_ratio']:.2f}x "
+                f"wall; answer hashes identical"
+            )
         if added:
             print(f"note: fields added vs baseline: {sorted(added)}")
         return 0

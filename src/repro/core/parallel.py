@@ -318,7 +318,14 @@ class SharedStoreExporter:
             else:
                 if cached is not None:
                     _release_segment(cached[1])
-                data = _flat_to_bytes(flat)
+                # Compressed tables ship their encoded blocks verbatim
+                # (self-describing stream; ``from_buffer`` sniffs the
+                # magic on attach) — the export memcpy shrinks with the
+                # same ratio as the resident closure.  The manifest's
+                # n_values stays the *logical* value count either way.
+                serialize = getattr(flat, "serialize", None)
+                data = serialize() if serialize is not None \
+                    else _flat_to_bytes(flat)
                 shm = _create_segment(len(data))
                 shm.buf[: len(data)] = data
                 n_values = len(flat)

@@ -509,30 +509,52 @@ class ParallelRuleScheduler:
                 f"substrate can pay for its overhead",
                 estimated,
             )
-        if self.kernels.name != "python":
+        # The compressed backend delegates its window math to an inner
+        # substrate; whether threads can scale — and how much extra work
+        # the block decode/encode adds per scanned pair — follows the
+        # inner backend, so both crossovers double and the GIL-bound
+        # classification tracks ``inner_name``.
+        backend_name = self.kernels.name
+        inner_name = getattr(self.kernels, "inner_name", backend_name)
+        compressed = backend_name == "compressed"
+        scale = 2 if compressed else 1
+        thread_crossover = scale * self.thread_crossover
+        process_crossover = scale * self.process_crossover
+        gil_bound = (inner_name if compressed else backend_name) == "python"
+        if not gil_bound:
             # Vectorized kernels release the GIL: threads scale and
             # skip the export memcpy, so process mode never wins here.
-            if estimated is not None and estimated < self.thread_crossover:
+            if estimated is not None and estimated < thread_crossover:
                 return decision(
                     "sequential",
                     f"estimated {estimated} pairs/iteration is below "
-                    f"the thread crossover ({self.thread_crossover})",
+                    f"the thread crossover ({thread_crossover})"
+                    + (
+                        " (doubled for compressed-block decode cost)"
+                        if compressed else ""
+                    ),
                     estimated,
                 )
             return decision(
                 "thread",
                 f"estimated work clears the thread crossover on the "
-                f"GIL-releasing {self.kernels.name!r} backend",
+                f"GIL-releasing {backend_name!r} backend"
+                + (
+                    f" (decompressed windows run on {inner_name!r})"
+                    if compressed else ""
+                ),
                 estimated,
             )
-        # Pure-Python backend: threads are GIL-serialized, so the only
-        # substrate that can win is processes — above their crossover.
-        if estimated is not None and estimated < self.process_crossover:
+        # GIL-serialized substrate (pure-Python kernels, or compressed
+        # blocks decoded by the pure-Python codec): threads cannot help,
+        # so the only substrate that can win is processes — above their
+        # crossover.
+        if estimated is not None and estimated < process_crossover:
             return decision(
                 "sequential",
                 f"estimated {estimated} pairs/iteration is below the "
-                f"process crossover ({self.process_crossover}); threads "
-                f"cannot help the GIL-serialized python backend",
+                f"process crossover ({process_crossover}); threads "
+                f"cannot help the GIL-serialized {backend_name!r} backend",
                 estimated,
             )
         if self._process_fallback is not None:
@@ -553,8 +575,8 @@ class ParallelRuleScheduler:
             )
         return decision(
             "process",
-            "estimated work clears the process crossover on the "
-            "GIL-serialized 'python' backend",
+            f"estimated work clears the process crossover on the "
+            f"GIL-serialized {backend_name!r} backend",
             estimated,
         )
 

@@ -76,11 +76,20 @@ STORE_MAGIC = b"REPRO-STORE\x00"
 #: (named blobs appended after the asserted data — readers skip
 #: sections they do not recognize, with a warning, so the section
 #: mechanism is forward-compatible).  Version-1 files still load and
-#: are treated as full-mode stores.
+#: are treated as full-mode stores.  Version 3 adds per-table
+#: ``"encoding": "crp1"`` entries: a compressed-backend store writes
+#: its delta-encoded block streams verbatim (``n_bytes`` encoded bytes
+#: instead of ``n_values * 8`` raw ones), so a compressed closure
+#: reloads in O(compressed read) with its blocks intact.  Files with no
+#: compressed table are still written as version 2 — older builds keep
+#: reading everything that they can represent.
 STORE_FORMAT_VERSION = 2
 
+#: Format version used when at least one table is stored compressed.
+_COMPRESSED_FORMAT_VERSION = 3
+
 #: On-disk format versions this build reads.
-_SUPPORTED_VERSIONS = (1, 2)
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 class StoreFormatError(ValueError):
@@ -722,11 +731,28 @@ class Store(_ReadAPI):
         property_terms, resource_terms = engine.dictionary.term_lists()
         table_entries = []
         blobs: List[bytes] = []
+        any_compressed = False
         for property_id, flat in engine.main.table_arrays():
-            blob = _flat_to_le_bytes(flat)
-            table_entries.append(
-                {"pid": property_id, "n_values": len(flat)}
-            )
+            serialize = getattr(flat, "serialize", None)
+            if serialize is not None:
+                # Compressed backend: store the self-describing block
+                # stream verbatim — reload costs O(compressed read) and
+                # the encoded blocks survive the round trip unchanged.
+                blob = serialize()
+                table_entries.append(
+                    {
+                        "pid": property_id,
+                        "n_values": len(flat),
+                        "encoding": "crp1",
+                        "n_bytes": len(blob),
+                    }
+                )
+                any_compressed = True
+            else:
+                blob = _flat_to_le_bytes(flat)
+                table_entries.append(
+                    {"pid": property_id, "n_values": len(flat)}
+                )
             blobs.append(blob)
         asserted_flat = array("q")
         for subject, property_id, obj in engine.asserted_encoded():
@@ -747,7 +773,11 @@ class Store(_ReadAPI):
             section_blobs.append(blob)
         header = {
             "format": "repro-store",
-            "version": STORE_FORMAT_VERSION,
+            "version": (
+                _COMPRESSED_FORMAT_VERSION
+                if any_compressed
+                else STORE_FORMAT_VERSION
+            ),
             "ruleset": engine.ruleset_name,
             "algorithm": engine.algorithm,
             "materialized": engine.is_materialized,
@@ -870,6 +900,36 @@ def _le_bytes_to_flat(data: bytes) -> array:
     return flat
 
 
+def _crp1_to_flat(blob: bytes, entry: dict):
+    """A ``"crp1"`` table blob back to a :class:`CompressedPairs`.
+
+    Deserialization rebuilds the encoded blocks exactly as written —
+    a compressed-backend reader adopts them as-is (O(read) reload,
+    blocks shared with nothing to re-encode); any other backend's
+    ``asarray`` decodes them into its native flat type on restore.
+    """
+    from ..kernels import numpy_available
+    from ..kernels.compressed_backend import (
+        CompressedPairs,
+        _NumpyCodec,
+        _PythonCodec,
+    )
+
+    codec = _NumpyCodec() if numpy_available() else _PythonCodec()
+    try:
+        pairs = CompressedPairs.deserialize(blob, codec)
+    except ValueError as error:
+        raise StoreFormatError(
+            f"corrupt compressed table (pid {entry.get('pid')}): {error}"
+        ) from error
+    if len(pairs) != entry["n_values"]:
+        raise StoreFormatError(
+            f"compressed table (pid {entry.get('pid')}) decodes to "
+            f"{len(pairs)} values, header says {entry['n_values']}"
+        )
+    return pairs
+
+
 def _read_store_file(handle: io.BufferedIOBase):
     """Parse a serialized store:
     (header, [(pid, flat)…], asserted, {section name: payload}).
@@ -899,11 +959,26 @@ def _read_store_file(handle: io.BufferedIOBase):
         )
     tables = []
     for entry in header["tables"]:
-        n_bytes = entry["n_values"] * 8
-        blob = handle.read(n_bytes)
-        if len(blob) != n_bytes:
-            raise StoreFormatError("truncated store file (table data)")
-        tables.append((entry["pid"], _le_bytes_to_flat(blob)))
+        encoding = entry.get("encoding")
+        if encoding == "crp1":
+            n_bytes = int(entry["n_bytes"])
+            blob = handle.read(n_bytes)
+            if len(blob) != n_bytes:
+                raise StoreFormatError(
+                    "truncated store file (compressed table data)"
+                )
+            tables.append((entry["pid"], _crp1_to_flat(blob, entry)))
+        elif encoding is None:
+            n_bytes = entry["n_values"] * 8
+            blob = handle.read(n_bytes)
+            if len(blob) != n_bytes:
+                raise StoreFormatError("truncated store file (table data)")
+            tables.append((entry["pid"], _le_bytes_to_flat(blob)))
+        else:
+            raise StoreFormatError(
+                f"unknown table encoding {encoding!r} (this build reads "
+                "raw and 'crp1' tables)"
+            )
     n_bytes = header["n_asserted"] * 3 * 8
     blob = handle.read(n_bytes)
     if len(blob) != n_bytes:

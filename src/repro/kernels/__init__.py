@@ -13,8 +13,8 @@ backend discovery and selection:
 
 Environment knobs (read at call time, so tests and CI can toggle them):
 
-* ``REPRO_KERNELS`` — overrides the ``'auto'`` default (``python`` or
-  ``numpy``), without touching call sites;
+* ``REPRO_KERNELS`` — overrides the ``'auto'`` default (``python``,
+  ``numpy`` or ``compressed``), without touching call sites;
 * ``REPRO_KERNELS_DISABLE_NUMPY`` — any non-empty value other than
   ``0`` makes NumPy count as unavailable, so the pure-Python fallback
   can be exercised on machines that do have NumPy installed (the CI
@@ -40,10 +40,11 @@ __all__ = [
 ]
 
 #: Names accepted by the public ``backend=`` parameters.
-BACKEND_NAMES = ("auto", "python", "numpy")
+BACKEND_NAMES = ("auto", "python", "numpy", "compressed")
 
 _NUMPY_IMPORT_FAILED = False
 _NUMPY_KERNELS: Optional[KernelBackend] = None
+_COMPRESSED_KERNELS: dict = {}
 
 
 class KernelUnavailableError(RuntimeError):
@@ -69,10 +70,25 @@ def _load_numpy_backend() -> Optional[KernelBackend]:
     return _NUMPY_KERNELS
 
 
+def _load_compressed_backend() -> KernelBackend:
+    # The compressed backend delegates decompressed-window math to an
+    # inner backend; pick it at call time so REPRO_KERNELS_DISABLE_NUMPY
+    # keeps the pure-Python composition honest.  One shared instance per
+    # inner substrate.
+    from .compressed_backend import CompressedKernels
+
+    inner = _load_numpy_backend() if numpy_available() else PYTHON_KERNELS
+    if inner.name not in _COMPRESSED_KERNELS:
+        _COMPRESSED_KERNELS[inner.name] = CompressedKernels(inner)
+    return _COMPRESSED_KERNELS[inner.name]
+
+
 def get_backend(name: str) -> KernelBackend:
     """The shared backend instance for an explicit name."""
     if name == "python":
         return PYTHON_KERNELS
+    if name == "compressed":
+        return _load_compressed_backend()
     if name == "numpy":
         if not numpy_available():
             raise KernelUnavailableError(
@@ -114,10 +130,10 @@ def resolve_backend(
         backend = os.environ.get("REPRO_KERNELS", "auto") or "auto"
     if backend == "auto":
         return get_backend("numpy") if numpy_available() else PYTHON_KERNELS
-    if backend == "numpy" and algorithm != "auto":
+    if backend in ("numpy", "compressed") and algorithm != "auto":
         raise ValueError(
             f"algorithm={algorithm!r} is a scalar-sort ablation that the "
-            "numpy backend would silently ignore; use backend='python' "
+            f"{backend} backend would silently ignore; use backend='python' "
             "(or 'auto', which pins to python when an algorithm is forced)"
         )
     return get_backend(backend)

@@ -17,6 +17,11 @@ swappable:
   (:mod:`repro.kernels.numpy_backend`); the flat-int encoding of the
   dictionary makes the pair arrays drop-in compatible with NumPy
   vectors, so every pass runs at C speed.
+* ``compressed`` — delta-encoded sorted runs
+  (:mod:`repro.kernels.compressed_backend`); committed columns live as
+  frame-of-reference zig-zag delta blocks, every primitive streams
+  block-by-block, and identical blocks are shared across versions and
+  snapshots.  Trades decode time for a ~4–8× smaller resident closure.
 
 Backends are semantically interchangeable: for any input, every kernel
 must return the same *values* regardless of backend (the differential
@@ -62,6 +67,22 @@ class KernelBackend:
     def concat(self, chunks: Sequence) -> object:
         """Concatenate flat chunks (possibly of foreign types) natively."""
         raise NotImplementedError
+
+    def flat_nbytes(self, flat, seen=None) -> int:
+        """Resident bytes held by a flat array.
+
+        The memory-accounting hook behind ``PropertyTable.memory_bytes``
+        and the memsim live-Store probe.  ``seen`` (a mutable set, when
+        provided) deduplicates storage shared across versions/snapshots
+        by object identity: an array (or, for the compressed backend, an
+        encoded block) already accounted for contributes zero.
+        """
+        if seen is not None:
+            key = id(flat)
+            if key in seen:
+                return 0
+            seen.add(key)
+        return 8 * len(flat)
 
     def from_buffer(self, buffer, n_values: int, *, offset: int = 0):
         """A zero-copy read-only flat view over ``n_values`` int64 values.

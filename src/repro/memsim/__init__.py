@@ -11,6 +11,7 @@ from .hierarchy import (
     TlbSim,
     replay_trace,
 )
+from .probe import StoreMemoryReport, TableMemory, measure_store
 from .tracer import NullTracer, RecordingTracer, TraceOp
 
 __all__ = [
@@ -25,7 +26,10 @@ __all__ = [
     "PageFaultSim",
     "RecordingTracer",
     "REGION_WINDOW",
+    "StoreMemoryReport",
+    "TableMemory",
     "TlbSim",
     "TraceOp",
+    "measure_store",
     "replay_trace",
 ]

@@ -28,6 +28,14 @@ class NTriplesError(ValueError):
         self.line = line
 
 
+def _is_ascii_alpha(ch: str) -> bool:
+    return "a" <= ch <= "z" or "A" <= ch <= "Z"
+
+
+def _is_ascii_alnum(ch: str) -> bool:
+    return _is_ascii_alpha(ch) or "0" <= ch <= "9"
+
+
 _ESCAPES = {
     "t": "\t",
     "b": "\b",
@@ -59,12 +67,38 @@ def _unescape(raw: str, line_no: int, line: str) -> str:
         if esc in _ESCAPES:
             out.append(_ESCAPES[esc])
             i += 2
-        elif esc == "u":
-            out.append(chr(int(raw[i + 2 : i + 6], 16)))
-            i += 6
-        elif esc == "U":
-            out.append(chr(int(raw[i + 2 : i + 10], 16)))
-            i += 10
+        elif esc in ("u", "U"):
+            width = 4 if esc == "u" else 8
+            digits = raw[i + 2 : i + 2 + width]
+            # UCHAR requires *exactly* 4 (\u) or 8 (\U) hex digits; a
+            # truncated escape must not silently decode from whatever
+            # characters follow, and bad hex must carry line context.
+            if len(digits) < width:
+                raise NTriplesError(
+                    f"truncated \\{esc} escape (needs {width} hex digits)",
+                    line_no,
+                    line,
+                )
+            if not all(d in "0123456789abcdefABCDEF" for d in digits):
+                # int(x, 16) is laxer than HEX (signs, underscores).
+                raise NTriplesError(
+                    f"invalid hex digits in \\{esc} escape: {digits!r}",
+                    line_no,
+                    line,
+                )
+            codepoint = int(digits, 16)
+            try:
+                out.append(chr(codepoint))
+            except (ValueError, OverflowError):
+                # chr() raises OverflowError past the C-int range and
+                # ValueError past U+10FFFF — both are the same grammar
+                # violation here.
+                raise NTriplesError(
+                    f"\\{esc} escape out of Unicode range: {digits!r}",
+                    line_no,
+                    line,
+                ) from None
+            i += 2 + width
         else:
             raise NTriplesError(f"bad escape \\{esc}", line_no, line)
     return "".join(out)
@@ -118,8 +152,16 @@ class _LineParser:
         start = self.pos + 2
         end = start
         line = self.line
-        while end < len(line) and line[end] not in " \t":
+        # Stop at line terminators too: stream lines keep their '\n',
+        # and a label running into it would hide a trailing '.' from
+        # the give-back below.
+        while end < len(line) and line[end] not in " \t\r\n":
             end += 1
+        # BLANK_NODE_LABEL permits '.' only *inside* a label, never at
+        # its end — `_:b1.` is the label `b1` followed by the statement
+        # terminator, so give trailing dots back to the cursor.
+        while end > start and line[end - 1] == ".":
+            end -= 1
         if end == start:
             raise self.error("empty blank node label")
         self.pos = end
@@ -146,12 +188,23 @@ class _LineParser:
         )
         self.pos = end + 1
         if self.pos < len(line) and line[self.pos] == "@":
+            # LANGTAG ::= '@' [a-zA-Z]+ ('-' [a-zA-Z0-9]+)* — ASCII
+            # only (str.isalnum() would admit '@été'), and the primary
+            # subtag is alphabetic (no digit-leading tags like '@1fr').
             start = self.pos + 1
             end = start
-            while end < len(line) and (line[end].isalnum() or line[end] == "-"):
+            while end < len(line) and _is_ascii_alpha(line[end]):
                 end += 1
             if end == start:
-                raise self.error("empty language tag")
+                raise self.error("empty or non-alphabetic language tag")
+            while end < len(line) and line[end] == "-":
+                sub_start = end + 1
+                sub_end = sub_start
+                while sub_end < len(line) and _is_ascii_alnum(line[sub_end]):
+                    sub_end += 1
+                if sub_end == sub_start:
+                    raise self.error("empty language subtag")
+                end = sub_end
             self.pos = end
             return Literal(lexical, language=line[start:end])
         if line.startswith("^^", self.pos):

@@ -234,14 +234,17 @@ class PropertyTable:
         """Snapshot of the pairs as a set of tuples (tests)."""
         return set(self.iter_pairs())
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, seen: Optional[set] = None) -> int:
         """Bytes held by the pair array (+ the o-s cache if present).
 
-        The fixed-length 64-bit encoding makes this exact: 16 bytes per
-        pair per array — the figure the paper's scalability discussion
-        (chains > 25,000 exhausting 16 GB) is about.
+        Backend-aware: the flat backends report the exact fixed-length
+        encoding (16 bytes per pair per array — the figure the paper's
+        scalability discussion is about), the compressed backend its
+        encoded block bytes.  ``seen`` deduplicates storage shared with
+        other tables/versions by identity (snapshot aliasing, shared
+        compressed runs); pass one set across a whole store walk.
         """
-        total = 8 * len(self._pairs)
+        total = self._kernels.flat_nbytes(self._pairs, seen)
         if self._os_cache is not None:
-            total += 8 * len(self._os_cache)
+            total += self._kernels.flat_nbytes(self._os_cache, seen)
         return total

@@ -36,6 +36,12 @@ class InferredBuffers:
     never mutate their committed arrays in place, so aliasing is safe)
     — the chunks are concatenated by the consuming backend right before
     the sort.
+
+    Chunk boundaries follow whatever the emitting rule handed in; on
+    the compressed backend a committed-table chunk stays in its
+    delta-encoded block form until the consuming ``concat``, which
+    decodes block-by-block — chunk boundaries therefore align with
+    compression blocks and no full int64 copy is staged here.
     """
 
     __slots__ = ("_tails", "_chunks")
@@ -380,10 +386,17 @@ class TripleStore:
             )
         return out
 
-    def memory_bytes(self) -> int:
-        """Total bytes held by all pair arrays and o-s caches."""
+    def memory_bytes(self, seen: Optional[set] = None) -> int:
+        """Total bytes held by all pair arrays and o-s caches.
+
+        ``seen`` (an identity set, shared across a walk of several
+        stores/snapshots) makes the figure *resident* bytes: arrays and
+        compressed blocks shared between versions are counted once.
+        """
+        if seen is None:
+            seen = set()
         return sum(
-            table.memory_bytes() for table in self._tables.values()
+            table.memory_bytes(seen) for table in self._tables.values()
         )
 
     def drop_os_caches(self) -> int:

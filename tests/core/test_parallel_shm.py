@@ -19,7 +19,9 @@ from repro.kernels import get_backend, numpy_available
 from repro.rules.spec import Rule
 from repro.store.triple_store import InferredBuffers, TripleStore
 
-BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+BACKENDS = ["python", "compressed"] + (
+    ["numpy"] if numpy_available() else []
+)
 
 
 def _make_store(backend_name):

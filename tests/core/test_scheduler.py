@@ -347,6 +347,68 @@ class TestParallelModeSelection:
         stats = engine.materialize()
         assert stats.parallel_mode == "sequential"
 
+    def test_auto_doubles_crossovers_for_compressed_backend(
+        self, monkeypatch
+    ):
+        # Block decode makes each pair roughly twice as expensive to
+        # touch, so the compressed backend stays sequential up to twice
+        # the configured crossover — the reason string says so.
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        engine = InferrayEngine(
+            "rdfs-default",
+            backend="compressed",
+            workers=2,
+            parallel_mode="auto",
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        assert stats.parallel_mode == "sequential"
+        assert "doubled for compressed-block decode cost" in (
+            stats.parallel_decision["reason"]
+        )
+
+    def test_auto_compressed_over_numpy_picks_threads(self, monkeypatch):
+        from repro.kernels import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy inner backend unavailable")
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        monkeypatch.setenv("REPRO_THREAD_CROSSOVER", "0")
+        engine = InferrayEngine(
+            "rdfs-default",
+            backend="compressed",
+            workers=2,
+            parallel_mode="auto",
+        )
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        # Decode windows run on the GIL-releasing numpy inner backend,
+        # so threads are viable just like for plain numpy.
+        assert stats.parallel_mode == "thread"
+        assert "decompressed windows run on 'numpy'" in (
+            stats.parallel_decision["reason"]
+        )
+        engine.close()
+
+    def test_auto_compressed_over_python_picks_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_CORES", "4")
+        monkeypatch.setenv("REPRO_KERNELS_DISABLE_NUMPY", "1")
+        monkeypatch.setenv("REPRO_THREAD_CROSSOVER", "0")
+        monkeypatch.setenv("REPRO_PROCESS_CROSSOVER", "0")
+        engine = InferrayEngine(
+            "rdfs-default",
+            backend="compressed",
+            workers=2,
+            parallel_mode="auto",
+        )
+        assert engine.kernels.inner_name == "python"
+        engine.load_triples(INTRO)
+        stats = engine.materialize()
+        # Pure-python decode serializes under the GIL: thread mode is
+        # never an option, the process pool is.
+        assert stats.parallel_mode == "process"
+        engine.close()
+
     def test_env_mode_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL_MODE", "thread")
         engine = InferrayEngine("rdfs-default", backend="python", workers=2)

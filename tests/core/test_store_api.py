@@ -22,7 +22,9 @@ from repro.query.bgp import Query, TriplePattern, Var
 from repro.rdf.terms import IRI, Literal, Triple
 from repro.rdf.vocabulary import RDF, RDFS
 
-BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+BACKENDS = ["python", "compressed"] + (
+    ["numpy"] if numpy_available() else []
+)
 
 
 @pytest.fixture(params=BACKENDS)
@@ -405,6 +407,99 @@ class TestPersistence:
             Store.load(path)
         loaded = Store.load(path, ruleset="rdfs-default")
         assert set(loaded.triples()) == set(store.triples())
+
+
+def _read_header(path):
+    import json
+    import struct
+
+    from repro.core.store_api import STORE_MAGIC
+
+    with open(path, "rb") as handle:
+        assert handle.read(len(STORE_MAGIC)) == STORE_MAGIC
+        (n,) = struct.unpack("<I", handle.read(4))
+        return json.loads(handle.read(n))
+
+
+class TestCompressedPersistence:
+    """Format version 3: compressed tables stored as block streams."""
+
+    def _saved(self, tmp_path, backend="compressed"):
+        path = str(tmp_path / "c.store")
+        store = Store(
+            DATA + [Triple(ex("Bart"), ex("sister"), ex("Lisa"))],
+            backend=backend,
+        )
+        store.materialize()
+        store.save(path)
+        return path, store
+
+    def test_compressed_save_writes_version3_crp1(self, tmp_path):
+        path, _ = self._saved(tmp_path)
+        header = _read_header(path)
+        assert header["version"] == 3
+        assert header["tables"]
+        for entry in header["tables"]:
+            assert entry["encoding"] == "crp1"
+            assert entry["n_bytes"] > 0
+
+    def test_raw_backend_save_keeps_version2(self, tmp_path):
+        path, _ = self._saved(tmp_path, backend="python")
+        header = _read_header(path)
+        assert header["version"] == 2
+        assert all("encoding" not in e for e in header["tables"])
+
+    def test_compressed_reload_keeps_compressed_tables(self, tmp_path):
+        from repro.kernels.compressed_backend import CompressedPairs
+
+        path, store = self._saved(tmp_path)
+        loaded = Store.load(path, backend="compressed")
+        assert loaded.engine.kernels.name == "compressed"
+        tables = list(loaded.engine.main.table_arrays())
+        assert tables
+        # O(read) reload: block streams are adopted verbatim, never
+        # decoded to a flat int64 image.
+        assert all(isinstance(flat, CompressedPairs) for _, flat in tables)
+        assert set(loaded.triples()) == set(store.triples())
+        assert set(loaded.inferred()) == set(store.inferred())
+
+    @pytest.mark.parametrize(
+        "load_backend",
+        ["python"] + (["numpy"] if numpy_available() else []),
+    )
+    def test_compressed_file_loads_under_raw_backends(
+        self, tmp_path, load_backend
+    ):
+        path, store = self._saved(tmp_path)
+        loaded = Store.load(path, backend=load_backend)
+        assert loaded.engine.kernels.name == load_backend
+        assert set(loaded.triples()) == set(store.triples())
+
+    def test_raw_file_loads_under_compressed_backend(self, tmp_path):
+        path, store = self._saved(tmp_path, backend="python")
+        loaded = Store.load(path, backend="compressed")
+        assert loaded.engine.kernels.name == "compressed"
+        assert set(loaded.triples()) == set(store.triples())
+
+    def test_corrupt_compressed_blob_rejected(self, tmp_path):
+        import struct
+
+        from repro.core.store_api import STORE_MAGIC
+
+        path, _ = self._saved(tmp_path)
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        header_len = struct.unpack_from(
+            "<I", blob, len(STORE_MAGIC)
+        )[0]
+        tables_start = len(STORE_MAGIC) + 4 + header_len
+        # Flip a byte inside the first table's block stream, past its
+        # 8-byte magic so the failure is a decode error, not a sniff.
+        blob[tables_start + 12] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(StoreFormatError):
+            Store.load(path, backend="compressed")
 
 
 class TestStoreConfig:

@@ -1,12 +1,13 @@
 """Cross-backend differential suite (ISSUE 1).
 
-Every ruleset × generated dataset is materialized under both kernel
-backends; the closures must be *identical*: same sorted triple list and
+Every ruleset × generated dataset is materialized under every kernel
+backend; the closures must be *identical*: same sorted triple list and
 same ``MaterializationStats.n_inferred``.  The pure-Python backend is
-the reference semantics; the NumPy backend must be indistinguishable
-from it on every workload shape we generate (deep chains that stress
-the θ closure, LUBM-mini's schema-heavy mix, BSBM-mini's instance-heavy
-mix).
+the reference semantics; the NumPy backend (when importable) and the
+compressed backend (always available — it composes over whichever inner
+backend is importable) must be indistinguishable from it on every
+workload shape we generate (deep chains that stress the θ closure,
+LUBM-mini's schema-heavy mix, BSBM-mini's instance-heavy mix).
 """
 
 import pytest
@@ -24,7 +25,7 @@ from repro.datasets.lubm import lubm_like
 from repro.kernels import numpy_available
 from repro.rules.rulesets import RULESET_NAMES
 
-pytestmark = pytest.mark.skipif(
+requires_numpy = pytest.mark.skipif(
     not numpy_available(), reason="numpy backend not available"
 )
 
@@ -66,11 +67,24 @@ def _reference(ruleset, dataset_name):
     return _reference_cache[key]
 
 
+@requires_numpy
 @pytest.mark.parametrize("dataset_name", sorted(DATASETS))
 @pytest.mark.parametrize("ruleset", RULESET_NAMES)
 def test_numpy_backend_matches_python(ruleset, dataset_name):
     expected_triples, expected_inferred = _reference(ruleset, dataset_name)
     triples, inferred = _materialize(ruleset, dataset_name, "numpy")
+    assert inferred == expected_inferred
+    assert triples == expected_triples
+
+
+@pytest.mark.parametrize("dataset_name", sorted(DATASETS))
+@pytest.mark.parametrize("ruleset", RULESET_NAMES)
+def test_compressed_backend_matches_python(ruleset, dataset_name):
+    # Runs in every environment: with numpy importable the compressed
+    # backend composes over the numpy codec/kernels, without it over
+    # the pure-Python ones — both compositions must match the reference.
+    expected_triples, expected_inferred = _reference(ruleset, dataset_name)
+    triples, inferred = _materialize(ruleset, dataset_name, "compressed")
     assert inferred == expected_inferred
     assert triples == expected_triples
 

@@ -36,12 +36,16 @@ class TestResolvePolicy:
         assert resolve_backend("auto", algorithm="radix").name == "python"
 
     @requires_numpy
-    def test_auto_prefers_numpy(self):
+    def test_auto_prefers_numpy(self, monkeypatch):
+        # Default policy: ignore any ambient REPRO_KERNELS override
+        # (the compressed CI legs export one).
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
         assert resolve_backend("auto").name == "numpy"
         assert resolve_backend(None).name == "numpy"
 
     @requires_numpy
     def test_env_disable_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
         monkeypatch.setenv("REPRO_KERNELS_DISABLE_NUMPY", "1")
         assert not numpy_available()
         assert resolve_backend("auto").name == "python"
@@ -70,7 +74,7 @@ class TestResolvePolicy:
             InferrayEngine("rho-df", backend="numpy", algorithm="radix")
 
     def test_backend_names_exported(self):
-        assert set(BACKEND_NAMES) == {"auto", "python", "numpy"}
+        assert set(BACKEND_NAMES) == {"auto", "python", "numpy", "compressed"}
 
 
 class TestEngineThreading:

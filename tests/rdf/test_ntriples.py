@@ -94,6 +94,101 @@ class TestParseErrors:
         assert excinfo.value.line_no == 2
 
 
+class TestGrammarConformance:
+    """Regression tests for N-Triples grammar violations (ISSUE 9).
+
+    Three parser bugs: blank-node labels swallowing the statement
+    terminator, ``\\uXXXX``/``\\UXXXXXXXX`` escapes decoding from
+    truncated or non-HEX slices, and language tags accepting non-ASCII
+    or digit-leading primary subtags.
+    """
+
+    def test_bnode_label_does_not_swallow_terminator(self):
+        # BLANK_NODE_LABEL may contain '.' but never end with one:
+        # `_:b1.` is the label `b1` followed by the '.' terminator.
+        t = parse_line("<http://a> <http://p> _:b1.")
+        assert t.object == BlankNode("b1")
+
+    def test_bnode_trailing_dot_parses_from_stream(self):
+        # Stream lines keep their '\n'; the label scan must stop there
+        # or the trailing '.' never reaches the terminator give-back.
+        triples = list(parse("<http://a> <http://p> _:b1.\n"))
+        assert triples[0].object == BlankNode("b1")
+
+    def test_bnode_label_keeps_interior_dots(self):
+        t = parse_line("<http://a> <http://p> _:b1.x .")
+        assert t.object == BlankNode("b1.x")
+
+    def test_bnode_label_multiple_trailing_dots(self):
+        # `_:b...` → label `b`, then the terminator; the extra dots are
+        # trailing garbage, not part of the label.
+        with pytest.raises(NTriplesError):
+            parse_line("<http://a> <http://p> _:b... .")
+
+    def test_bnode_subject_trailing_dot_is_syntax_error(self):
+        # In subject position the returned '.' lands where a predicate
+        # is required — the old parser silently made it part of the
+        # label; now it is a proper syntax error.
+        with pytest.raises(NTriplesError):
+            parse_line("_:s. <http://p> <http://b> .")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            '<a> <p> "\\u00e" .',  # 3 of 4 hex digits
+            '<a> <p> "\\u00" .',  # truncated mid-escape
+            '<a> <p> "\\U0001F60" .',  # 7 of 8 hex digits
+            '<a> <p> "x\\u12zz" .',  # non-hex characters
+            '<a> <p> "x\\u+123" .',  # int(x, 16) laxness: sign
+            '<a> <p> "x\\u12_3" .',  # int(x, 16) laxness: underscore
+            '<a> <p> "\\UFFFFFFFF" .',  # beyond U+10FFFF
+            '<a> <p> "tail\\" .',  # dangling backslash
+        ],
+    )
+    def test_bad_numeric_escapes_rejected(self, line):
+        with pytest.raises(NTriplesError):
+            parse_line(line)
+
+    def test_supplementary_plane_escape_roundtrips(self):
+        t = parse_line('<http://a> <http://p> "\\U0001F600" .')
+        assert t.object == Literal("😀")
+        assert list(parse(serialize([t]))) == [t]
+
+    def test_uppercase_hex_digits_accepted(self):
+        t = parse_line('<a> <p> "\\u00E9\\U0001F600" .')
+        assert t.object == Literal("é😀")
+
+    def test_escape_in_iri(self):
+        t = parse_line("<http://x/\\u00e9> <http://p> <http://b> .")
+        assert t.subject == IRI("http://x/é")
+
+    def test_dangling_escape_at_end_of_iri(self):
+        with pytest.raises(NTriplesError):
+            parse_line("<http://a\\> <http://p> <http://b> .")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            '<a> <p> "x"@été .',  # non-ASCII primary subtag
+            '<a> <p> "x"@1fr .',  # digit-leading primary subtag
+            '<a> <p> "x"@en- .',  # empty subtag
+            '<a> <p> "x"@-en .',  # leading hyphen
+        ],
+    )
+    def test_malformed_language_tags_rejected(self, line):
+        with pytest.raises(NTriplesError):
+            parse_line(line)
+
+    def test_language_tag_digit_subtags_allowed(self):
+        # Digits are fine in *secondary* subtags ('-' [a-zA-Z0-9]+).
+        t = parse_line('<a> <p> "x"@en-us-2020 .')
+        assert t.object == Literal("x", language="en-us-2020")
+
+    def test_comment_after_dot_without_space(self):
+        t = parse_line("<http://a> <http://p> <http://b> .# comment")
+        assert t.object == IRI("http://b")
+
+
 class TestDocuments:
     def test_multi_line_document(self):
         doc = """
