@@ -50,8 +50,13 @@ from .core.parallel import PARALLEL_MODES, ProcessModeUnavailable
 from .core.store_api import (
     Snapshot,
     Store,
+    StoreChecksumError,
     StoreConfig,
+    StoreCorruptionError,
     StoreFormatError,
+    StoreMagicError,
+    StoreTruncationError,
+    StoreVersionError,
     is_store_file,
 )
 from .query.bgp import Query, TriplePattern, Var, parse_bgp
@@ -69,8 +74,13 @@ __all__ = [
     "RULESET_NAMES",
     "Snapshot",
     "Store",
+    "StoreChecksumError",
     "StoreConfig",
+    "StoreCorruptionError",
     "StoreFormatError",
+    "StoreMagicError",
+    "StoreTruncationError",
+    "StoreVersionError",
     "TriplePattern",
     "Var",
     "__version__",

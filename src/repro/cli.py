@@ -228,6 +228,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--read-workers", type=int, default=4, metavar="N",
         help="threads answering BGP queries",
     )
+    serve_cmd.add_argument(
+        "--read-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="slowloris guard: a started request must finish arriving "
+        "within this window or gets 408 (0 disables)",
+    )
+    serve_cmd.add_argument(
+        "--wal", default=None, metavar="PATH",
+        help="write-ahead log: append each accepted mutation here before "
+        "acknowledging; replayed on boot so kill -9 loses nothing",
+    )
+    serve_cmd.add_argument(
+        "--wal-fsync", default="always", choices=["always", "batch", "never"],
+        help="WAL fsync policy: per append (always), at checkpoints "
+        "(batch), or left to the OS (never)",
+    )
+    serve_cmd.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="where checkpoints save the store "
+        "(default: <WAL path>.checkpoint); loaded instead of INPUT "
+        "on boot when present",
+    )
+    serve_cmd.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint (atomic save + WAL truncation) after every "
+        "N-th successful flush",
+    )
     _add_ruleset_argument(serve_cmd, default=None)
     _add_materialize_argument(serve_cmd)
     _add_backend_argument(serve_cmd)
@@ -474,8 +500,32 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from .serving import run as run_server
+    from .serving import WriteAheadLog, run as run_server
 
+    wal = None
+    checkpoint_path = args.checkpoint
+    if args.wal:
+        checkpoint_path = checkpoint_path or f"{args.wal}.checkpoint"
+        if os.path.exists(checkpoint_path) and is_store_file(
+            checkpoint_path
+        ):
+            # The checkpoint already folds in every mutation the WAL
+            # truncated away; booting from INPUT instead would silently
+            # roll those acknowledged writes back.
+            print(
+                f"repro: booting from checkpoint {checkpoint_path} "
+                f"(instead of {args.input})",
+                file=sys.stderr,
+            )
+            args = argparse.Namespace(**vars(args))
+            args.input = checkpoint_path
+        wal = WriteAheadLog(args.wal, fsync_policy=args.wal_fsync)
+        if wal.depth:
+            print(
+                f"repro: WAL {args.wal} holds {wal.depth} "
+                "un-checkpointed mutation(s); replaying on boot",
+                file=sys.stderr,
+            )
     store = _open_store(args)
     if args.flush_timeout is not None:
         from dataclasses import replace
@@ -502,6 +552,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         retained_epochs=args.retained_epochs,
         read_workers=args.read_workers,
+        read_timeout=args.read_timeout,
+        wal=wal,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=args.checkpoint_every,
     )
 
 

@@ -373,6 +373,11 @@ class InferrayEngine:
                 new = self.main.merge_inferred(outcome.out)
                 stats.merge_seconds += time.perf_counter() - merge_started
 
+        # Re-read after the loop: mid-wave self-healing may have
+        # degraded the decision while iterations ran.
+        stats.parallel_mode = decision.mode
+        stats.parallel_fallback = decision.fallback
+        stats.parallel_decision = decision.as_dict()
         stats.iterations = iteration
         stats.n_total = self.main.n_triples
         stats.n_inferred = stats.n_total - stats.n_input
@@ -585,6 +590,11 @@ class InferrayEngine:
                 new = self.main.merge_inferred(outcome.out)
                 stats.merge_seconds += time.perf_counter() - merge_started
 
+        # Re-read after the loop: mid-wave self-healing may have
+        # degraded the decision while iterations ran.
+        stats.parallel_mode = decision.mode
+        stats.parallel_fallback = decision.fallback
+        stats.parallel_decision = decision.as_dict()
         stats.iterations = iteration
         stats.n_total = self.main.n_triples
         stats.n_inferred = stats.n_total - stats.n_input
@@ -929,6 +939,9 @@ class InferrayEngine:
                 new = self.main.merge_inferred(outcome.out)
                 stats.merge_seconds += time.perf_counter() - merge_started
 
+        stats.parallel_mode = decision.mode
+        stats.parallel_fallback = decision.fallback
+        stats.parallel_decision = decision.as_dict()
         stats.iterations = iteration - 1
         stats.n_total = self.main.n_triples
         stats.n_inferred = stats.n_total - stats.n_input

@@ -46,6 +46,7 @@ from array import array
 from multiprocessing import get_context, resource_tracker, shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults import fire as _fire_fault
 from ..kernels import KernelBackend, resolve_backend
 from ..rules.spec import Rule, RuleContext, Vocab
 from ..store.triple_store import InferredBuffers, TripleStore
@@ -227,6 +228,7 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     suppressed for the duration of the constructor (safe: segments are
     only attached from a process's main thread).
     """
+    _fire_fault("shm.attach", name)
     if _shm_supports_track():
         return shared_memory.SharedMemory(name=name, track=False)
     register = resource_tracker.register
@@ -248,8 +250,15 @@ def _create_segment(n_bytes: int) -> shared_memory.SharedMemory:
     shm = shared_memory.SharedMemory(create=True, size=max(1, n_bytes))
     try:
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals moved
-        pass
+    except Exception as error:  # pragma: no cover - tracker internals moved
+        # Keep going (the segment works either way), but say so: a
+        # failed unregister means the tracker's bookkeeping is now
+        # unbalanced and teardown may log spurious leak warnings.
+        warnings.warn(
+            f"could not unregister shared-memory segment "
+            f"{shm._name!r} from the resource tracker: {error!r}",
+            RuntimeWarning,
+        )
     return shm
 
 
@@ -545,6 +554,7 @@ def _worker_fire(
     """
     import time
 
+    _fire_fault("parallel.worker", f"rule_index={rule_index}")
     state = _WORKER
     assert state is not None, "worker used before initialization"
     main = state.store_for("main", main_manifest)

@@ -80,6 +80,7 @@ import time
 import warnings
 import weakref
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -397,6 +398,11 @@ class ParallelRuleScheduler:
         # not start (unpicklable rules, missing vocab): decide() stops
         # proposing process once it is known to fail.
         self._process_fallback: Optional[str] = None
+        #: Mid-wave self-healing events over this scheduler's lifetime:
+        #: each count is one broken process session (dead worker,
+        #: vanished shared-memory segment) torn down and re-run on the
+        #: local substrate without failing the flush.
+        self.degraded_total = 0
         self._pools = _PoolBox()
         self._pool_finalizer = weakref.finalize(
             self, _close_pool_box, self._pools
@@ -600,8 +606,15 @@ class ParallelRuleScheduler:
             self._pools.process = None
             try:
                 session.shutdown()
-            except Exception:  # pragma: no cover - teardown best effort
-                pass
+            except Exception as error:  # pragma: no cover - best effort
+                # Teardown of a broken pool stays best-effort, but a
+                # failure here is exactly the kind of leak (zombie
+                # workers, stranded segments) worth diagnosing.
+                warnings.warn(
+                    f"shutting down the broken process session failed: "
+                    f"{error!r}",
+                    RuntimeWarning,
+                )
             session = None
         if session is None:
             if self.vocab is None:
@@ -620,6 +633,54 @@ class ParallelRuleScheduler:
             )
             self._pools.process = session
         return session
+
+    #: Mid-wave failures that mean "the process substrate broke", not
+    #: "the rule is wrong": a worker died (kill -9, OOM — surfaces as
+    #: BrokenProcessPool) or a shared-memory segment vanished
+    #: (FileNotFoundError from attach, on either side of the pool).
+    #: Both are healed by re-running the wave locally; anything else
+    #: still fails the flush.
+    _HEALABLE_ERRORS = (BrokenProcessPool, FileNotFoundError)
+
+    def _heal_broken_session(
+        self, session: ProcessSession, error: BaseException
+    ) -> str:
+        """Tear down a mid-wave-broken process session; returns why.
+
+        The session's pool and exported segments are released (best
+        effort — a broken pool may not shut down cleanly) and the
+        scheduler forgets it, so the *next* process decision lazily
+        builds a fresh one.  The failure is deliberately not sticky:
+        unlike a pool that cannot start at all, a killed worker says
+        nothing about whether a new pool would work.
+        """
+        reason = (
+            f"process session broke mid-wave "
+            f"({type(error).__name__}: {error}); re-ran the affected "
+            f"wave locally"
+        )
+        self.degraded_total += 1
+        session._defunct = True
+        if self._pools.process is session:
+            self._pools.process = None
+        try:
+            session.shutdown()
+        except Exception as shutdown_error:  # pragma: no cover
+            warnings.warn(
+                f"shutting down the broken process session failed: "
+                f"{shutdown_error!r}",
+                RuntimeWarning,
+            )
+        decision = self.last_decision
+        if decision is not None:
+            decision.mode = "thread" if self.workers > 1 else "sequential"
+            decision.fallback = reason
+        warnings.warn(
+            f"self-healing parallel flush: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return reason
 
     @property
     def process_session(self) -> Optional[ProcessSession]:
@@ -723,6 +784,17 @@ class ParallelRuleScheduler:
         process_session = (
             executor if isinstance(executor, ProcessSession) else None
         )
+        if process_session is not None and getattr(
+            process_session, "_defunct", False
+        ):
+            # The session broke — and was healed — during an earlier
+            # iteration of this materialization; the engine still holds
+            # the stale executor for the rest of the run, so stay on
+            # the local substrate.
+            process_session = None
+            executor = (
+                self._ensure_thread_pool() if self.workers > 1 else None
+            )
         if process_session is not None:
             main_manifest, new_manifest = process_session.export(main, new)
 
@@ -759,42 +831,60 @@ class ParallelRuleScheduler:
                         (index, (k, n_shards)) for k in range(n_shards)
                     )
             if process_session is not None:
-                futures = [
-                    (
-                        index,
-                        process_session.submit(
-                            index,
-                            shard,
-                            main_manifest,
-                            new_manifest,
-                            iteration,
-                            theta_prepass_done,
-                        ),
-                    )
-                    for index, shard in tasks
-                ]
                 absorbed = 0
                 try:
-                    for index, future in futures:
-                        name, entries, counts, elapsed = future.result()
-                        buffers = InferredBuffers()
-                        if name is not None:
-                            segment_to_buffers(name, entries, buffers)
-                        results[index].append((buffers, counts, elapsed))
-                        absorbed += 1
-                except BaseException:
-                    # A task failed mid-wave: drain the remaining
-                    # futures and unlink the (disowned) output
-                    # segments of the siblings that completed, or
-                    # they leak until reboot.
-                    for _, future in futures[absorbed:]:
-                        try:
-                            name, _, _, _ = future.result()
-                        except Exception:
-                            continue
-                        if name is not None:
-                            discard_result_segment(name)
-                    raise
+                    futures = [
+                        (
+                            index,
+                            process_session.submit(
+                                index,
+                                shard,
+                                main_manifest,
+                                new_manifest,
+                                iteration,
+                                theta_prepass_done,
+                            ),
+                        )
+                        for index, shard in tasks
+                    ]
+                    try:
+                        for index, future in futures:
+                            name, entries, counts, elapsed = future.result()
+                            buffers = InferredBuffers()
+                            if name is not None:
+                                segment_to_buffers(name, entries, buffers)
+                            results[index].append((buffers, counts, elapsed))
+                            absorbed += 1
+                    except BaseException:
+                        # A task failed mid-wave: drain the remaining
+                        # futures and unlink the (disowned) output
+                        # segments of the siblings that completed, or
+                        # they leak until reboot.
+                        for _, future in futures[absorbed:]:
+                            try:
+                                name, _, _, _ = future.result()
+                            except Exception:
+                                continue
+                            if name is not None:
+                                discard_result_segment(name)
+                        raise
+                except self._HEALABLE_ERRORS as error:
+                    # Self-healing: a dead worker or vanished segment
+                    # breaks the session, not the flush.  Tear the
+                    # session down, then re-run exactly the tasks of
+                    # this wave that were not absorbed — completed
+                    # siblings were discarded above, so every task
+                    # still contributes exactly once and the committed
+                    # closure stays byte-identical.
+                    self._heal_broken_session(process_session, error)
+                    process_session = None
+                    executor = (
+                        self._ensure_thread_pool()
+                        if self.workers > 1
+                        else None
+                    )
+                    for index, shard in tasks[absorbed:]:
+                        results[index].append(fire_local(index, shard))
             elif executor is not None and len(tasks) > 1:
                 futures = [
                     (index, executor.submit(fire_local, index, shard))

@@ -37,7 +37,9 @@ import json
 import os
 import struct
 import sys
+import tempfile
 import warnings
+import zlib
 from array import array
 from dataclasses import dataclass, replace
 from typing import (
@@ -52,6 +54,7 @@ from typing import (
 )
 
 from ..dictionary.encoding import Dictionary, EncodedTriple
+from ..faults import fire as _fire_fault
 from ..kernels import KernelBackend
 from ..query.bgp import Query, TriplePattern, parse_bgp
 from ..rdf.graph import Graph
@@ -64,7 +67,12 @@ __all__ = [
     "Snapshot",
     "Store",
     "StoreConfig",
+    "StoreChecksumError",
+    "StoreCorruptionError",
     "StoreFormatError",
+    "StoreMagicError",
+    "StoreTruncationError",
+    "StoreVersionError",
     "is_store_file",
 ]
 
@@ -80,20 +88,68 @@ STORE_MAGIC = b"REPRO-STORE\x00"
 #: ``"encoding": "crp1"`` entries: a compressed-backend store writes
 #: its delta-encoded block streams verbatim (``n_bytes`` encoded bytes
 #: instead of ``n_values * 8`` raw ones), so a compressed closure
-#: reloads in O(compressed read) with its blocks intact.  Files with no
-#: compressed table are still written as version 2 — older builds keep
-#: reading everything that they can represent.
-STORE_FORMAT_VERSION = 2
+#: reloads in O(compressed read) with its blocks intact.  Version 4
+#: adds integrity metadata: a ``"crc32"`` on every table and section
+#: entry, an ``"asserted_crc32"``, and the total ``"payload_bytes"``
+#: after the header — the reader verifies each blob against its
+#: checksum and fails with a :class:`StoreChecksumError` naming the
+#: blob and its file offset instead of loading silently corrupted
+#: data.  Versions 1–3 (no checksums) still load unchanged.
+STORE_FORMAT_VERSION = 4
 
-#: Format version used when at least one table is stored compressed.
+#: Format version that introduced compressed table entries (kept for
+#: reference; every new file is written as v4 regardless of backend).
 _COMPRESSED_FORMAT_VERSION = 3
 
 #: On-disk format versions this build reads.
-_SUPPORTED_VERSIONS = (1, 2, 3)
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 class StoreFormatError(ValueError):
     """Raised when a file is not a readable serialized store."""
+
+
+class StoreCorruptionError(StoreFormatError):
+    """A store file is damaged (as opposed to merely incompatible).
+
+    ``section`` names the part of the file that failed (for example
+    ``"header"``, ``"table pid=7"``, ``"asserted"``, or
+    ``"section 'litemat'"``) and ``offset`` is the byte position where
+    the damage was detected, when known.  Both are folded into the
+    message and kept as attributes for programmatic use.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        section: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        detail = message
+        if section is not None:
+            detail = f"{detail} [section: {section}]"
+        if offset is not None:
+            detail = f"{detail} [offset: {offset}]"
+        super().__init__(detail)
+        self.section = section
+        self.offset = offset
+
+
+class StoreMagicError(StoreCorruptionError):
+    """The file does not start with the store magic bytes."""
+
+
+class StoreTruncationError(StoreCorruptionError):
+    """The file ends before a declared blob is complete."""
+
+
+class StoreChecksumError(StoreCorruptionError):
+    """A blob's CRC32 does not match its header entry (v4 files)."""
+
+
+class StoreVersionError(StoreCorruptionError):
+    """The file declares a format version this build cannot read."""
 
 
 @dataclass(frozen=True)
@@ -725,13 +781,20 @@ class Store(_ReadAPI):
         property's committed (sorted-unique) pair array and the
         asserted id triples, so :meth:`load` restores the closure in
         O(read) without re-running inference.
+
+        The write is crash-safe: the bytes go to a temporary file in
+        the same directory, which is fsynced and atomically
+        ``os.replace``\\ d over ``path`` (the directory is fsynced too,
+        so the rename itself survives power loss).  A crash at any
+        point leaves either the previous file intact or the complete
+        new one — never a torn mix.  Every blob carries a CRC32 in the
+        header (format v4) that :meth:`load` verifies.
         """
         self._refresh()
         engine = self._engine
         property_terms, resource_terms = engine.dictionary.term_lists()
         table_entries = []
         blobs: List[bytes] = []
-        any_compressed = False
         for property_id, flat in engine.main.table_arrays():
             serialize = getattr(flat, "serialize", None)
             if serialize is not None:
@@ -745,13 +808,17 @@ class Store(_ReadAPI):
                         "n_values": len(flat),
                         "encoding": "crp1",
                         "n_bytes": len(blob),
+                        "crc32": zlib.crc32(blob),
                     }
                 )
-                any_compressed = True
             else:
                 blob = _flat_to_le_bytes(flat)
                 table_entries.append(
-                    {"pid": property_id, "n_values": len(flat)}
+                    {
+                        "pid": property_id,
+                        "n_values": len(flat),
+                        "crc32": zlib.crc32(blob),
+                    }
                 )
             blobs.append(blob)
         asserted_flat = array("q")
@@ -769,15 +836,23 @@ class Store(_ReadAPI):
             blob = json.dumps(
                 hybrid_state, separators=(",", ":")
             ).encode("utf-8")
-            sections.append({"name": "litemat", "n_bytes": len(blob)})
+            sections.append(
+                {
+                    "name": "litemat",
+                    "n_bytes": len(blob),
+                    "crc32": zlib.crc32(blob),
+                }
+            )
             section_blobs.append(blob)
+        asserted_bytes = _flat_to_le_bytes(asserted_flat)
+        body_bytes = (
+            sum(len(blob) for blob in blobs)
+            + len(asserted_bytes)
+            + sum(len(blob) for blob in section_blobs)
+        )
         header = {
             "format": "repro-store",
-            "version": (
-                _COMPRESSED_FORMAT_VERSION
-                if any_compressed
-                else STORE_FORMAT_VERSION
-            ),
+            "version": STORE_FORMAT_VERSION,
             "ruleset": engine.ruleset_name,
             "algorithm": engine.algorithm,
             "materialized": engine.is_materialized,
@@ -787,19 +862,42 @@ class Store(_ReadAPI):
             "resource_terms": [term_to_record(t) for t in resource_terms],
             "tables": table_entries,
             "n_asserted": len(asserted_flat) // 3,
+            "asserted_crc32": zlib.crc32(asserted_bytes),
+            "payload_bytes": body_bytes,
             "sections": sections,
         }
         payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        # Crash safety: write everything to a same-directory temp file,
+        # force it to disk, then atomically rename over the target.  A
+        # fault anywhere in between leaves the previous file untouched.
+        target = os.path.abspath(path)
+        directory = os.path.dirname(target) or os.curdir
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+        )
         written = 0
-        with open(path, "wb") as handle:
-            written += handle.write(STORE_MAGIC)
-            written += handle.write(struct.pack("<I", len(payload)))
-            written += handle.write(payload)
-            for blob in blobs:
-                written += handle.write(blob)
-            written += handle.write(_flat_to_le_bytes(asserted_flat))
-            for blob in section_blobs:
-                written += handle.write(blob)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                written += handle.write(STORE_MAGIC)
+                written += handle.write(struct.pack("<I", len(payload)))
+                written += handle.write(payload)
+                _fire_fault("persist.write", target)
+                for blob in blobs:
+                    written += handle.write(blob)
+                written += handle.write(asserted_bytes)
+                for blob in section_blobs:
+                    written += handle.write(blob)
+                handle.flush()
+                _fire_fault("persist.fsync", target)
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        _fsync_directory(directory)
         return written
 
     @classmethod
@@ -844,10 +942,16 @@ class Store(_ReadAPI):
                 f"{path!r} was saved from a custom rule list; pass an "
                 "explicit ruleset= to Store.load()"
             )
-        dictionary = Dictionary.from_term_lists(
-            [term_from_record(r) for r in header["property_terms"]],
-            [term_from_record(r) for r in header["resource_terms"]],
-        )
+        try:
+            dictionary = Dictionary.from_term_lists(
+                [term_from_record(r) for r in header["property_terms"]],
+                [term_from_record(r) for r in header["resource_terms"]],
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise StoreCorruptionError(
+                f"corrupt dictionary term records: {error!r}",
+                section="header",
+            ) from error
         store = cls(config=config)
         engine = store._engine
         materialized = bool(header["materialized"])
@@ -876,6 +980,25 @@ class Store(_ReadAPI):
 # ----------------------------------------------------------------------
 # Serialization plumbing
 # ----------------------------------------------------------------------
+def _fsync_directory(directory: str) -> None:
+    """Force a directory's entry table to disk (best effort).
+
+    Needed after ``os.replace`` for the rename itself to be durable.
+    Some filesystems refuse to fsync a directory fd; that only costs
+    durability of the rename, never atomicity, so failures are ignored.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def _flat_to_le_bytes(flat) -> bytes:
     """A flat int64 sequence as little-endian bytes (any backend)."""
     if isinstance(flat, array) and flat.typecode == "q":
@@ -930,6 +1053,52 @@ def _crp1_to_flat(blob: bytes, entry: dict):
     return pairs
 
 
+#: Header keys every readable store file (v1+) must carry.
+_REQUIRED_HEADER_KEYS = (
+    "ruleset",
+    "algorithm",
+    "materialized",
+    "property_terms",
+    "resource_terms",
+    "tables",
+    "n_asserted",
+)
+
+
+def _read_blob(handle, n_bytes: int, section: str, offset: int) -> bytes:
+    """Read exactly ``n_bytes`` or raise a located truncation error."""
+    blob = handle.read(n_bytes)
+    if len(blob) != n_bytes:
+        raise StoreTruncationError(
+            f"truncated store file: {section} declares {n_bytes} bytes "
+            f"but only {len(blob)} remain",
+            section=section,
+            offset=offset,
+        )
+    return blob
+
+
+def _check_crc(blob: bytes, entry, key: str, section: str, offset: int):
+    """Verify a blob against its header CRC32, when one is present.
+
+    v1–v3 files carry no checksums; their entries simply lack the key
+    and are accepted as-is.  Header-only rewrites (version downgrades,
+    extra sections) leave blob checksums valid, so presence — not the
+    declared version — gates verification.
+    """
+    expected = entry.get(key) if isinstance(entry, dict) else None
+    if expected is None:
+        return
+    actual = zlib.crc32(blob)
+    if actual != expected:
+        raise StoreChecksumError(
+            f"checksum mismatch in {section}: stored crc32={expected}, "
+            f"computed crc32={actual}",
+            section=section,
+            offset=offset,
+        )
+
+
 def _read_store_file(handle: io.BufferedIOBase):
     """Parse a serialized store:
     (header, [(pid, flat)…], asserted, {section name: payload}).
@@ -937,52 +1106,124 @@ def _read_store_file(handle: io.BufferedIOBase):
     Optional header sections the build does not recognize are skipped
     with a warning (their byte length is in the header), so files from
     newer writers degrade gracefully instead of failing to load.
+
+    Every failure surfaces as a :class:`StoreCorruptionError` subclass
+    naming the damaged section and its byte offset — raw
+    ``struct.error`` / ``json.JSONDecodeError`` / ``KeyError`` from a
+    malformed file never escape.
     """
     magic = handle.read(len(STORE_MAGIC))
     if magic != STORE_MAGIC:
-        raise StoreFormatError("not a repro store file (bad magic)")
-    length_bytes = handle.read(4)
-    if len(length_bytes) != 4:
-        raise StoreFormatError("truncated store file (header length)")
+        raise StoreMagicError(
+            "not a repro store file (bad magic)", section="magic", offset=0
+        )
+    offset = len(STORE_MAGIC)
+    length_bytes = _read_blob(handle, 4, "header length", offset)
     (header_len,) = struct.unpack("<I", length_bytes)
-    header_bytes = handle.read(header_len)
-    if len(header_bytes) != header_len:
-        raise StoreFormatError("truncated store file (header)")
+    offset += 4
+    header_bytes = _read_blob(handle, header_len, "header", offset)
     try:
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise StoreFormatError(f"corrupt store header: {error}") from error
-    if header.get("version") not in _SUPPORTED_VERSIONS:
-        raise StoreFormatError(
-            f"unsupported store format version {header.get('version')!r} "
-            f"(this build reads versions {_SUPPORTED_VERSIONS})"
+        raise StoreCorruptionError(
+            f"corrupt store header: {error}", section="header", offset=offset
+        ) from error
+    if not isinstance(header, dict):
+        raise StoreCorruptionError(
+            "corrupt store header: not a JSON object",
+            section="header",
+            offset=offset,
         )
+    if header.get("version") not in _SUPPORTED_VERSIONS:
+        raise StoreVersionError(
+            f"unsupported store format version {header.get('version')!r} "
+            f"(this build reads versions {_SUPPORTED_VERSIONS})",
+            section="header",
+            offset=offset,
+        )
+    for key in _REQUIRED_HEADER_KEYS:
+        if key not in header:
+            raise StoreCorruptionError(
+                f"store header is missing required key {key!r}",
+                section="header",
+                offset=offset,
+            )
+    offset += header_len
+    try:
+        return (header,) + _read_store_body(handle, header, offset)
+    except StoreFormatError:
+        raise
+    except (
+        AttributeError,
+        KeyError,
+        TypeError,
+        ValueError,
+        struct.error,
+    ) as error:
+        # A hostile or damaged header can make any body field the
+        # wrong type or shape; surface it as corruption, located at
+        # least to the body, instead of leaking the raw error.
+        raise StoreCorruptionError(
+            f"malformed store header field: {error!r}",
+            section="header",
+            offset=offset,
+        ) from error
+
+
+def _read_store_body(handle, header: dict, offset: int):
+    declared = header.get("payload_bytes")
+    if declared is not None:
+        # Whole-payload truncation check up front, from the total
+        # length v4 headers declare.  Extra trailing bytes are fine
+        # (a newer writer may append sections this build skips);
+        # missing bytes are not.
+        position = handle.tell()
+        remaining = handle.seek(0, io.SEEK_END) - position
+        handle.seek(position)
+        if remaining < declared:
+            raise StoreTruncationError(
+                f"truncated store file: header declares a "
+                f"{declared}-byte payload but only {remaining} bytes "
+                "remain",
+                section="payload",
+                offset=offset,
+            )
     tables = []
-    for entry in header["tables"]:
+    for index, entry in enumerate(header["tables"]):
         encoding = entry.get("encoding")
+        section = f"table pid={entry.get('pid')}"
         if encoding == "crp1":
             n_bytes = int(entry["n_bytes"])
-            blob = handle.read(n_bytes)
-            if len(blob) != n_bytes:
-                raise StoreFormatError(
-                    "truncated store file (compressed table data)"
-                )
+            blob = _read_blob(handle, n_bytes, section, offset)
+            _check_crc(blob, entry, "crc32", section, offset)
             tables.append((entry["pid"], _crp1_to_flat(blob, entry)))
         elif encoding is None:
-            n_bytes = entry["n_values"] * 8
-            blob = handle.read(n_bytes)
-            if len(blob) != n_bytes:
-                raise StoreFormatError("truncated store file (table data)")
+            n_bytes = int(entry["n_values"]) * 8
+            if n_bytes < 0:
+                raise StoreCorruptionError(
+                    f"negative n_values in table entry {index}",
+                    section=section,
+                    offset=offset,
+                )
+            blob = _read_blob(handle, n_bytes, section, offset)
+            _check_crc(blob, entry, "crc32", section, offset)
             tables.append((entry["pid"], _le_bytes_to_flat(blob)))
         else:
             raise StoreFormatError(
                 f"unknown table encoding {encoding!r} (this build reads "
                 "raw and 'crp1' tables)"
             )
-    n_bytes = header["n_asserted"] * 3 * 8
-    blob = handle.read(n_bytes)
-    if len(blob) != n_bytes:
-        raise StoreFormatError("truncated store file (asserted data)")
+        offset += n_bytes
+    n_bytes = int(header["n_asserted"]) * 3 * 8
+    if n_bytes < 0:
+        raise StoreCorruptionError(
+            "negative n_asserted in store header",
+            section="asserted",
+            offset=offset,
+        )
+    blob = _read_blob(handle, n_bytes, "asserted", offset)
+    _check_crc(blob, header, "asserted_crc32", "asserted", offset)
+    offset += n_bytes
     flat = _le_bytes_to_flat(blob)
     asserted = [
         (flat[i], flat[i + 1], flat[i + 2]) for i in range(0, len(flat), 3)
@@ -991,26 +1232,27 @@ def _read_store_file(handle: io.BufferedIOBase):
     for entry in header.get("sections", ()):
         name = entry.get("name")
         n_bytes = int(entry.get("n_bytes", 0))
-        blob = handle.read(n_bytes)
-        if len(blob) != n_bytes:
-            raise StoreFormatError(
-                f"truncated store file (section {name!r})"
-            )
+        section = f"section {name!r}"
+        blob = _read_blob(handle, n_bytes, section, offset)
+        _check_crc(blob, entry, "crc32", section, offset)
         if name == "litemat":
             try:
                 sections[name] = json.loads(blob.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                raise StoreFormatError(
-                    f"corrupt store section {name!r}: {error}"
+                raise StoreCorruptionError(
+                    f"corrupt store section {name!r}: {error}",
+                    section=section,
+                    offset=offset,
                 ) from error
         else:
             warnings.warn(
                 f"repro store: skipping unknown optional section "
                 f"{name!r} ({n_bytes} bytes); the file was probably "
                 "written by a newer build",
-                stacklevel=3,
+                stacklevel=4,
             )
-    return header, tables, asserted, sections
+        offset += n_bytes
+    return tables, asserted, sections
 
 
 def is_store_file(path: str) -> bool:

@@ -25,8 +25,10 @@ from .metrics import LatencyWindow, ServingMetrics
 from .queue import Mutation, MutationQueue, QueueClosed, QueueFull
 from .server import FlushFailed, ReasoningServer
 from .thread import ServerThread
+from .wal import FSYNC_POLICIES, WALCorruptionError, WriteAheadLog
 
 __all__ = [
+    "FSYNC_POLICIES",
     "FlushFailed",
     "LatencyWindow",
     "Mutation",
@@ -36,6 +38,8 @@ __all__ = [
     "ReasoningServer",
     "ServerThread",
     "ServingMetrics",
+    "WALCorruptionError",
+    "WriteAheadLog",
     "run",
 ]
 

@@ -36,6 +36,7 @@ _STATUS_PHRASES = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
@@ -100,19 +101,51 @@ class Request:
         return token != "close"
 
 
-async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    timeout: Optional[float] = None,
+) -> Optional[Request]:
     """Parse one request off the stream; ``None`` on clean EOF.
 
     Raises :class:`HTTPError` for malformed or oversized requests and
     lets stream-level exceptions (reset connections) propagate to the
     connection handler.
+
+    ``timeout`` is the slowloris guard: waiting for the *first* byte is
+    unbounded (an idle keep-alive connection is legal and cheap), but
+    once a request has started arriving, the rest of its line, headers
+    and body must complete within ``timeout`` seconds or the request
+    fails with ``408 Request Timeout`` (and the connection closes, so
+    a half-sent request cannot park a connection task forever).
     """
-    try:
-        line = await reader.readline()
-    except (asyncio.LimitOverrunError, ValueError):
-        raise HTTPError(431, "request line too long")
-    if not line:
+    first = await reader.read(1)
+    if not first:
         return None  # client closed between requests
+    rest = _read_request_after(reader, first)
+    if timeout is None:
+        return await rest
+    try:
+        return await asyncio.wait_for(rest, timeout)
+    except asyncio.TimeoutError:
+        raise HTTPError(
+            408,
+            f"request read timed out after {timeout:g}s "
+            "(line, headers and body must arrive promptly)",
+        )
+
+
+async def _read_request_after(
+    reader: asyncio.StreamReader, first: bytes
+) -> Request:
+    """Parse the remainder of a request whose first byte is ``first``."""
+    if first == b"\n":
+        line = first
+    else:
+        try:
+            line = first + await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HTTPError(431, "request line too long")
     if len(line) > MAX_REQUEST_LINE:
         raise HTTPError(431, "request line too long")
     parts = line.decode("latin-1").strip().split()

@@ -46,6 +46,14 @@ class Mutation:
     #: Resolved with the epoch the batch landed in (``?wait=1``), or
     #: failed when the flush that owned it errored.
     future: Optional[asyncio.Future] = None
+    #: Sequence number assigned by the write-ahead log append, when
+    #: the server runs with one (``--wal``); checkpoints truncate the
+    #: log up to the highest flushed sequence.
+    wal_seq: Optional[int] = None
+    #: The in-flight append itself.  The writer awaits it before
+    #: flushing the mutation, so application never outruns durability
+    #: (and ``wal_seq`` is known by checkpoint time).
+    wal_future: Optional[asyncio.Future] = None
 
 
 class MutationQueue:

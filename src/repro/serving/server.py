@@ -40,11 +40,13 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.store_api import Snapshot, Store
+from ..faults import fire as _fire_fault
 from ..query.bgp import BGPSyntaxError
 from ..rdf.ntriples import NTriplesError, parse
 from .http import HTTPError, Request, json_body, read_request, render_response
 from .metrics import ServingMetrics
 from .queue import Mutation, MutationQueue, QueueClosed, QueueFull
+from .wal import WriteAheadLog
 
 __all__ = ["FlushFailed", "ReasoningServer"]
 
@@ -79,6 +81,23 @@ class ReasoningServer:
         Threads answering BGP queries off the event loop.
     default_limit:
         Cap on solutions returned when the client sends no ``limit``.
+    read_timeout:
+        Slowloris guard: seconds a *started* request has to finish
+        arriving (line, headers, body) before the connection is closed
+        with ``408``.  Idle keep-alive connections are unaffected.
+        ``None`` disables the deadline.
+    wal:
+        A :class:`~repro.serving.wal.WriteAheadLog`; when given, every
+        accepted mutation is appended (and, per the log's fsync
+        policy, fsynced) *before* the client sees the ack, the tail is
+        replayed into the store on :meth:`start`, and successful
+        flushes checkpoint via atomic save + log compaction.
+    checkpoint_path:
+        Where checkpoints save the store (defaults to
+        ``<wal path>.checkpoint``).  On boot the CLI prefers this file
+        over the original input when it exists.
+    checkpoint_every:
+        Checkpoint after every N-th successful flush (default 1).
     """
 
     def __init__(
@@ -93,6 +112,10 @@ class ReasoningServer:
         read_workers: int = 4,
         default_limit: int = 1000,
         max_drain_failures: int = 3,
+        read_timeout: Optional[float] = 30.0,
+        wal: Optional[WriteAheadLog] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
     ):
         self._store = store
         self.host = host
@@ -118,6 +141,21 @@ class ReasoningServer:
         self._connections: set = set()
         self._stopping = False
         self._closed = asyncio.Event()
+        self._read_timeout = (
+            read_timeout if read_timeout and read_timeout > 0 else None
+        )
+        self._wal = wal
+        self._checkpoint_path = checkpoint_path or (
+            wal.path + ".checkpoint" if wal is not None else None
+        )
+        self._checkpoint_every = max(1, checkpoint_every)
+        self._flushes_since_checkpoint = 0
+        self._replayed_at_boot = 0
+        #: Highest WAL sequence covered by a *successful* flush — the
+        #: only safe checkpoint bound.  A drained batch whose flush
+        #: errored is not in the store, so its records must survive in
+        #: the log for the next boot's replay.
+        self._flushed_wal_seq = 0
         self._flush_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-flush"
         )
@@ -125,17 +163,45 @@ class ReasoningServer:
             max_workers=max(1, read_workers),
             thread_name_prefix="repro-read",
         )
+        # WAL appends get a dedicated single thread: they must not sit
+        # behind a long materialization on the flush thread (appends
+        # gate acks), and a single thread keeps sequence order equal to
+        # enqueue order, which checkpoints rely on.
+        self._wal_pool = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-wal")
+            if wal is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Materialize, publish epoch 1, start listening and writing."""
+        """Materialize, publish epoch 1, start listening and writing.
+
+        With a WAL, the un-checkpointed tail (acknowledged writes a
+        previous process never flushed) is replayed into the store
+        first, so the epoch published here already contains them; the
+        boot then checkpoints immediately, compacting the log.
+        """
         loop = asyncio.get_running_loop()
+        if self._wal is not None:
+            self._replayed_at_boot = await loop.run_in_executor(
+                self._flush_pool, self._wal.replay_into, self._store
+            )
+            self.metrics.wal_replayed_total += self._replayed_at_boot
         snapshot, _ = await loop.run_in_executor(
             self._flush_pool, self._flush_sync
         )
         self._publish(snapshot)
+        if self._wal is not None:
+            self._flushed_wal_seq = self._wal.last_seq
+            if self._wal.depth:
+                await loop.run_in_executor(
+                    self._flush_pool,
+                    self._checkpoint_sync,
+                    self._wal.last_seq,
+                )
         self._started_at = time.monotonic()
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port
@@ -192,8 +258,27 @@ class ReasoningServer:
         if self._server is not None:
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
+        if (
+            self._wal is not None
+            and self._wal.depth
+            and self._flushed_wal_seq
+        ):
+            # One last checkpoint covering every *flushed* record —
+            # when the shutdown drained cleanly that is all of them
+            # (empty log, nothing to replay next boot); records whose
+            # flush never landed stay in the log for the next replay.
+            with contextlib.suppress(Exception):
+                await asyncio.get_running_loop().run_in_executor(
+                    self._flush_pool,
+                    self._checkpoint_sync,
+                    self._flushed_wal_seq,
+                )
+        if self._wal_pool is not None:
+            self._wal_pool.shutdown(wait=True)
         self._flush_pool.shutdown(wait=True)
         self._read_pool.shutdown(wait=True)
+        if self._wal is not None:
+            self._wal.close()
         self._closed.set()
 
     # ------------------------------------------------------------------
@@ -211,6 +296,7 @@ class ReasoningServer:
         the batch left nothing to flush (e.g. removes of triples that
         were never asserted).
         """
+        _fire_fault("serving.flush")
         for mutation in batch:
             if mutation.kind == "add":
                 self._store.add(list(mutation.triples))
@@ -220,6 +306,30 @@ class ReasoningServer:
             return None, None
         stats = self._store.materialize()
         return self._store.snapshot(), stats
+
+    def _checkpoint_sync(self, upto_seq: int) -> None:
+        """Atomic store save + WAL compaction — on the flush thread.
+
+        Sharing the flush thread serializes checkpoints against
+        flushes, so the saved closure always covers every record being
+        truncated.
+        """
+        assert self._wal is not None and self._checkpoint_path is not None
+        if self._wal.fsync_policy == "batch":
+            self._wal.sync()
+        self._store.save(self._checkpoint_path)
+        self._wal.checkpoint(upto_seq)
+        self.metrics.wal_checkpoints_total += 1
+
+    def _degraded_total(self) -> int:
+        """Mid-wave self-healing degradations across the engine's
+        schedulers (mirrored into ``repro_flush_degraded_total``)."""
+        engine = self._store.engine
+        total = engine.scheduler.degraded_total
+        reduced = getattr(engine, "_reduced_scheduler", None)
+        if reduced is not None:
+            total += reduced.degraded_total
+        return total
 
     async def _writer_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -237,6 +347,16 @@ class ReasoningServer:
                 n_triples += len(mutation.triples)
                 if mutation.future is not None:
                     waiters.append(mutation.future)
+                if mutation.wal_future is not None:
+                    # Durability before application: wait out the
+                    # in-flight append so the flush below never applies
+                    # a record the log doesn't hold, and its wal_seq
+                    # is known by checkpoint time.  A failed append is
+                    # fine — that write was 503'd, never acknowledged.
+                    try:
+                        mutation.wal_seq = await mutation.wal_future
+                    except Exception:
+                        pass
             if batch and self._oldest_unflushed is None:
                 self._oldest_unflushed = batch[0].enqueued_at
             started = time.monotonic()
@@ -260,6 +380,7 @@ class ReasoningServer:
                 continue
             consecutive_failures = 0
             self._oldest_unflushed = None
+            self.metrics.flush_degraded_total = self._degraded_total()
             if snapshot is not None:
                 self._publish(
                     snapshot,
@@ -269,6 +390,40 @@ class ReasoningServer:
                 )
             self._resolve_waiters(waiters)
             waiters = []
+            if self._wal is not None and batch:
+                known = [
+                    m.wal_seq for m in batch if m.wal_seq is not None
+                ]
+                if known:
+                    self._flushed_wal_seq = max(
+                        self._flushed_wal_seq, max(known)
+                    )
+                self._flushes_since_checkpoint += 1
+                if (
+                    self._flushes_since_checkpoint >= self._checkpoint_every
+                    and self._flushed_wal_seq
+                ):
+                    # The batch is durably in the closure; truncate the
+                    # log through the highest flushed sequence.  A
+                    # record whose append failed has no seq — but its
+                    # write was never acknowledged, so it needs no
+                    # durability either.
+                    try:
+                        await loop.run_in_executor(
+                            self._flush_pool,
+                            self._checkpoint_sync,
+                            self._flushed_wal_seq,
+                        )
+                    except Exception as error:
+                        # Checkpoint failure is not data loss — the
+                        # WAL still covers everything; retry after
+                        # the next flush.
+                        self._last_flush_error = (
+                            f"checkpoint failed: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                    else:
+                        self._flushes_since_checkpoint = 0
             if (
                 self.queue.closed
                 and not self.queue.depth
@@ -322,7 +477,9 @@ class ReasoningServer:
     async def _serve_connection(self, reader, writer) -> None:
         while True:
             try:
-                request = await read_request(reader)
+                request = await read_request(
+                    reader, timeout=self._read_timeout
+                )
             except HTTPError as error:
                 self.metrics.errors_total += 1
                 writer.write(
@@ -501,8 +658,33 @@ class ReasoningServer:
                 "p50_seconds": reads.percentile(0.5),
                 "p99_seconds": reads.percentile(0.99),
             },
+            "flush_degraded_total": self._degraded_total(),
+            "wal": self._wal_stats(),
         }
         return 200, json_body(payload), "application/json", {}
+
+    def _wal_stats(self) -> dict:
+        if self._wal is None:
+            return {"enabled": False}
+        age = (
+            time.monotonic() - self._wal.last_checkpoint_at
+            if self._wal.last_checkpoint_at is not None
+            else None
+        )
+        return {
+            "enabled": True,
+            "path": self._wal.path,
+            "fsync_policy": self._wal.fsync_policy,
+            "depth": self._wal.depth,
+            "last_seq": self._wal.last_seq,
+            "appended_total": self._wal.appended_total,
+            "append_errors_total": self.metrics.wal_append_errors_total,
+            "replayed_at_boot": self._replayed_at_boot,
+            "checkpoints_total": self._wal.checkpoints_total,
+            "torn_records_dropped": self._wal.torn_records_dropped,
+            "last_checkpoint_age_seconds": age,
+            "checkpoint_path": self._checkpoint_path,
+        }
 
     async def _handle_metrics(self, request: Request) -> Response:
         self.metrics.count_request("metrics")
@@ -524,6 +706,14 @@ class ReasoningServer:
             "draining": self.queue.closed,
             "uptime_seconds": now - self._started_at,
         }
+        if self._wal is not None:
+            gauges["wal_depth"] = self._wal.depth
+            gauges["wal_last_seq"] = self._wal.last_seq
+            if self._wal.last_checkpoint_at is not None:
+                gauges["wal_last_checkpoint_age_seconds"] = (
+                    now - self._wal.last_checkpoint_at
+                )
+        self.metrics.flush_degraded_total = self._degraded_total()
         raw_gauges = {
             "repro_hybrid_absorbed_rules": len(
                 self._store.engine.absorbed_rule_names
@@ -566,6 +756,31 @@ class ReasoningServer:
             )
         except QueueClosed:
             raise HTTPError(503, "server is draining; write rejected")
+        if self._wal is not None:
+            # Durability gates the ack: the mutation is already queued
+            # (so the writer will flush it either way), but the client
+            # only hears success once the append — and, under the
+            # ``always`` policy, the fsync — landed.  The dedicated
+            # single append thread keeps sequence order equal to
+            # enqueue order, which checkpoint truncation relies on.
+            # The future is published on the mutation *before* this
+            # coroutine first yields, so the writer task (which awaits
+            # it before flushing) can never observe the mutation
+            # without it.
+            mutation.wal_future = asyncio.get_running_loop().run_in_executor(
+                self._wal_pool, self._wal.append, kind, triples
+            )
+            try:
+                mutation.wal_seq = await mutation.wal_future
+            except Exception as error:
+                self.metrics.wal_append_errors_total += 1
+                raise HTTPError(
+                    503,
+                    "write-ahead log append failed "
+                    f"({type(error).__name__}: {error}); the write is "
+                    "queued in memory but NOT durable",
+                )
+            self.metrics.wal_appended_total += 1
         if future is None:
             payload = {"queued": len(triples), "epoch": self.epoch}
             return 202, json_body(payload), "application/json", {}

@@ -434,20 +434,28 @@ class TestCompressedPersistence:
         store.save(path)
         return path, store
 
-    def test_compressed_save_writes_version3_crp1(self, tmp_path):
+    def test_compressed_save_writes_v4_crp1(self, tmp_path):
+        from repro.core.store_api import STORE_FORMAT_VERSION
+
         path, _ = self._saved(tmp_path)
         header = _read_header(path)
-        assert header["version"] == 3
+        assert header["version"] == STORE_FORMAT_VERSION
         assert header["tables"]
         for entry in header["tables"]:
             assert entry["encoding"] == "crp1"
             assert entry["n_bytes"] > 0
+            assert isinstance(entry["crc32"], int)
 
-    def test_raw_backend_save_keeps_version2(self, tmp_path):
+    def test_raw_backend_save_writes_v4_raw_tables(self, tmp_path):
+        from repro.core.store_api import STORE_FORMAT_VERSION
+
         path, _ = self._saved(tmp_path, backend="python")
         header = _read_header(path)
-        assert header["version"] == 2
+        assert header["version"] == STORE_FORMAT_VERSION
         assert all("encoding" not in e for e in header["tables"])
+        assert all(isinstance(e["crc32"], int) for e in header["tables"])
+        assert isinstance(header["asserted_crc32"], int)
+        assert header["payload_bytes"] > 0
 
     def test_compressed_reload_keeps_compressed_tables(self, tmp_path):
         from repro.kernels.compressed_backend import CompressedPairs

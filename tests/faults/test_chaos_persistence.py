@@ -1,0 +1,181 @@
+"""Chaos tests: crash/fault the persistence path, prove atomicity.
+
+The invariant under test: ``Store.save`` either fully replaces the
+target file or leaves the previous bytes untouched — a fault (or a
+kill -9) mid-save never yields a half-written store, and never litters
+the directory with temp files that the next boot would trip over.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.store_api import Store, StoreCorruptionError, is_store_file
+from repro.faults import InjectedFault, inject, reset
+from repro.faults.registry import ENV_VAR, KILL_EXIT_CODE
+from repro.rdf.terms import IRI, Triple
+from repro.rdf.vocabulary import RDF, RDFS
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset()
+    yield
+    reset()
+
+
+def ex(name):
+    return IRI(f"ex:{name}")
+
+
+DATA = [
+    Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+    Triple(ex("Bart"), RDF.type, ex("human")),
+]
+
+MORE = [Triple(ex("Lisa"), RDF.type, ex("human"))]
+
+
+def make_store(extra=()):
+    store = Store(DATA + list(extra))
+    store.materialize()
+    return store
+
+
+def no_temp_litter(directory):
+    return [n for n in os.listdir(directory) if ".tmp" in n] == []
+
+
+class TestFaultedSaveAtomicity:
+    @pytest.mark.parametrize("site", ["persist.write", "persist.fsync"])
+    def test_fault_mid_save_keeps_previous_file(self, tmp_path, site):
+        target = str(tmp_path / "store.bin")
+        make_store().save(target)
+        golden = open(target, "rb").read()
+        with inject(site):
+            with pytest.raises(InjectedFault):
+                make_store(MORE).save(target)
+        assert open(target, "rb").read() == golden
+        assert no_temp_litter(tmp_path)
+        with Store.load(target) as reloaded:
+            assert set(reloaded.triples()) == set(make_store().triples())
+
+    @pytest.mark.parametrize("site", ["persist.write", "persist.fsync"])
+    def test_fault_on_fresh_save_leaves_nothing(self, tmp_path, site):
+        target = str(tmp_path / "store.bin")
+        with inject(site):
+            with pytest.raises(InjectedFault):
+                make_store().save(target)
+        assert not os.path.exists(target)
+        assert no_temp_litter(tmp_path)
+
+    def test_save_succeeds_after_fault_exhausted(self, tmp_path):
+        target = str(tmp_path / "store.bin")
+        with inject("persist.write:raise:times=1"):
+            store = make_store()
+            with pytest.raises(InjectedFault):
+                store.save(target)
+            store.save(target)  # the single armed fault was consumed
+        with Store.load(target) as reloaded:
+            assert reloaded.n_triples == make_store().n_triples
+
+
+class TestKilledSubprocessMidSave:
+    def test_kill_mid_save_preserves_previous_file(self, tmp_path):
+        """kill -9 (via os._exit at the seam) mid-save: old file intact."""
+        target = str(tmp_path / "store.bin")
+        make_store().save(target)
+        golden = open(target, "rb").read()
+        code = (
+            "from repro.core.store_api import Store\n"
+            "from repro.rdf.terms import IRI, Triple\n"
+            "from repro.rdf.vocabulary import RDF, RDFS\n"
+            "ex = lambda n: IRI('ex:' + n)\n"
+            "store = Store([\n"
+            "    Triple(ex('human'), RDFS.subClassOf, ex('mammal')),\n"
+            "    Triple(ex('Bart'), RDF.type, ex('human')),\n"
+            "    Triple(ex('Lisa'), RDF.type, ex('human')),\n"
+            "])\n"
+            "store.materialize()\n"
+            f"store.save({target!r})\n"
+            "raise SystemExit(1)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={
+                **os.environ,
+                "PYTHONPATH": _src_path(),
+                ENV_VAR: "persist.write:kill",
+            },
+        )
+        assert result.returncode == KILL_EXIT_CODE
+        assert open(target, "rb").read() == golden
+        assert is_store_file(target)
+        with Store.load(target) as reloaded:
+            assert set(reloaded.triples()) == set(make_store().triples())
+        # The orphaned temp file from the killed process (os._exit runs
+        # no cleanup) must not confuse loading, and must be the only
+        # residue.
+        litter = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+        assert len(litter) <= 1
+
+
+class TestCorruptionDetection:
+    def test_every_flipped_byte_is_detected(self, tmp_path):
+        """Flip one byte at a stride across the payload: every flip
+        either raises a structured corruption error or (for the header
+        region) a structured format error — never a silent wrong load
+        and never a raw struct/KeyError leak."""
+        target = str(tmp_path / "store.bin")
+        make_store().save(target)
+        golden = open(target, "rb").read()
+        baseline = sorted(t.n3() for t in Store.load(target).triples())
+        flips = range(0, len(golden), max(1, len(golden) // 64))
+        undetected = []
+        for position in flips:
+            corrupted = bytearray(golden)
+            corrupted[position] ^= 0xFF
+            with open(target, "wb") as handle:
+                handle.write(bytes(corrupted))
+            try:
+                with Store.load(target) as reloaded:
+                    loaded = sorted(t.n3() for t in reloaded.triples())
+                if loaded != baseline:
+                    undetected.append(position)
+            except ValueError:
+                # StoreFormatError and every corruption subclass are
+                # ValueErrors; anything else (struct.error, KeyError,
+                # EOFError...) fails the test by propagating.
+                continue
+        assert undetected == []
+
+    def test_truncation_at_any_point_is_detected(self, tmp_path):
+        target = str(tmp_path / "store.bin")
+        make_store().save(target)
+        golden = open(target, "rb").read()
+        for cut in range(1, len(golden), max(1, len(golden) // 32)):
+            with open(target, "wb") as handle:
+                handle.write(golden[:cut])
+            with pytest.raises(ValueError):
+                Store.load(target)
+
+    def test_corruption_error_names_section_and_offset(self, tmp_path):
+        target = str(tmp_path / "store.bin")
+        make_store().save(target)
+        golden = bytearray(open(target, "rb").read())
+        golden[-2] ^= 0xFF  # deep in the last section's payload
+        with open(target, "wb") as handle:
+            handle.write(bytes(golden))
+        with pytest.raises(StoreCorruptionError) as excinfo:
+            Store.load(target)
+        assert excinfo.value.section is not None
+        assert excinfo.value.offset is not None
+        assert excinfo.value.section in str(excinfo.value)
+
+
+def _src_path():
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))

@@ -1,0 +1,117 @@
+"""Slowloris regression tests: the per-request read deadline.
+
+A client that trickles a request can no longer park a connection task
+forever: once the first byte arrives, the rest of the request must
+complete within ``read_timeout`` seconds or the server answers ``408``
+and closes the connection.  Idle keep-alive connections (no bytes in
+flight) are deliberately exempt.
+"""
+
+import http.client
+import json
+import socket
+import time
+
+import pytest
+
+from repro import Store
+from repro.rdf import RDF, RDFS, Triple, iri
+from repro.serving import ServerThread
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return iri(EX + name)
+
+
+def base_triples():
+    return [
+        Triple(ex("human"), RDFS.subClassOf, ex("mammal")),
+        Triple(ex("Bart"), RDF.type, ex("human")),
+    ]
+
+
+@pytest.fixture
+def server():
+    store = Store(base_triples())
+    with ServerThread(store, port=0, read_timeout=0.3) as handle:
+        yield handle
+
+
+class TestReadTimeout:
+    def test_half_sent_request_gets_408(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(b"GET /health HT")  # ...and then go quiet
+            sock.settimeout(30)
+            raw = b""
+            while b"\r\n\r\n" not in raw:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        assert b"408" in raw.split(b"\r\n", 1)[0]
+        assert b"timed out" in raw
+        assert b"Connection: close" in raw
+
+    def test_half_sent_body_gets_408(self, server):
+        host, port = server.address
+        nt = f"<{EX}Lisa> <{RDF.type.value}> <{EX}human> .\n"
+        head = (
+            f"POST /add HTTP/1.1\r\nContent-Length: {len(nt) + 50}\r\n"
+            "\r\n"
+        ).encode() + nt.encode()  # body 50 bytes short, never finished
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(head)
+            sock.settimeout(30)
+            raw = b""
+            while b"\r\n\r\n" not in raw:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        assert b"408" in raw.split(b"\r\n", 1)[0]
+
+    def test_idle_keepalive_connection_is_not_timed_out(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("GET", "/health")
+        first = conn.getresponse()
+        assert first.status == 200
+        first.read()
+        # Sit idle well past the read deadline; the first byte of the
+        # next request is untimed, so the connection must still work.
+        time.sleep(0.6)
+        conn.request("GET", "/health")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert json.loads(response.read())["status"] == "ok"
+        conn.close()
+
+    def test_prompt_requests_unaffected(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        nt = f"<{EX}Lisa> <{RDF.type.value}> <{EX}human> .\n"
+        conn.request("POST", "/add?wait=1", body=nt)
+        response = conn.getresponse()
+        assert response.status == 200
+        response.read()
+        conn.close()
+
+    def test_timeout_disabled_with_none(self):
+        store = Store(base_triples())
+        with ServerThread(store, port=0, read_timeout=None) as handle:
+            host, port = handle.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                sock.sendall(b"GET /heal")  # stall past any deadline
+                time.sleep(0.5)
+                sock.sendall(b"th HTTP/1.1\r\n\r\n")
+                sock.settimeout(30)
+                raw = b""
+                while b"\r\n\r\n" not in raw:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    raw += chunk
+        assert b"200" in raw.split(b"\r\n", 1)[0]
